@@ -1,0 +1,20 @@
+"""Table V: OpenACC pw-advection on the V100 GPU, ours vs nvfortran."""
+
+from repro.harness import format_table, table5
+
+
+def test_table5_gpu_offload(benchmark):
+    table = benchmark.pedantic(
+        lambda: table5(grid_sizes=(134_000_000, 268_000_000, 536_000_000,
+                                   1_100_000_000)),
+        iterations=1, rounds=1)
+    print()
+    print(format_table(table))
+    ours = [row.measured["our-approach"] for row in table.rows]
+    nvf = [row.measured["nvfortran"] for row in table.rows]
+    # runtime grows with the number of grid cells for both compilers
+    assert ours == sorted(ours)
+    assert nvf == sorted(nvf)
+    # "the Nvidia compiler outperforms our approach ... arguably fairly close"
+    for o, n in zip(ours, nvf):
+        assert o / n < 2.5

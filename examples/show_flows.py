@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Figures 1-3: print the two compilation flows and the IR at each stage.
+
+Machine-readable rendition of the paper's flow diagrams: the stages of the
+baseline Flang pipeline (Figure 1), the standard-MLIR pipeline (Figure 2),
+and the vectorisation pass pipeline (Figure 3), together with the IR of a
+tiny subroutine at every stage.
+"""
+
+from repro.core import StandardMLIRCompiler
+from repro.core.pipelines import BASE_PIPELINE, VECTORIZE_PIPELINE
+from repro.flang import FlangCompiler
+from repro.ir.printer import print_op
+
+SOURCE = """
+subroutine run_solver(i, x)
+  implicit none
+  integer, intent(in) :: i
+  real(kind=8), intent(out) :: x
+  if (i == 50) then
+    x = 1.0d0
+  else
+    x = 2.0d0
+  end if
+end subroutine run_solver
+"""
+
+
+def main() -> None:
+    print("=" * 70)
+    print("Figure 1 — Flang's existing flow")
+    print("=" * 70)
+    flang = FlangCompiler()
+    for step in flang.flow_description():
+        print("  ->", step)
+    result = flang.compile(SOURCE, stop_at="fir")
+    print("\n--- HLFIR + FIR (Listing 2) ---")
+    print(print_op(result.hlfir_module))
+
+    print("=" * 70)
+    print("Figure 2 — the standard MLIR flow of this paper")
+    print("=" * 70)
+    ours = StandardMLIRCompiler(vector_width=4)
+    for step in ours.flow_description():
+        print("  ->", step)
+    compiled = ours.compile(SOURCE)
+    print("\n--- standard dialects after the Section V transformation "
+          "(Listing 3) ---")
+    print(print_op(compiled.standard_module))
+
+    print("=" * 70)
+    print("Listing 1 — base mlir-opt pipeline")
+    print("=" * 70)
+    print(BASE_PIPELINE)
+    print()
+    print("=" * 70)
+    print("Figure 3 — vectorisation pipeline")
+    print("=" * 70)
+    print(VECTORIZE_PIPELINE)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,17 @@
+"""repro — reproduction of "Fully integrating the Flang Fortran compiler with
+standard MLIR" (SC 2024).
+
+Public entry points:
+
+* :class:`repro.flang.FlangCompiler` — the baseline Flang flow (Figure 1);
+* :class:`repro.core.StandardMLIRCompiler` — the paper's standard-MLIR flow
+  (Figure 2, Section V/VI);
+* :mod:`repro.machine` — interpreter + machine models producing modeled
+  runtimes;
+* :mod:`repro.workloads` and :mod:`repro.harness` — the benchmarks and the
+  experiments regenerating Tables I-V.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

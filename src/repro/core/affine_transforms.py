@@ -1,0 +1,170 @@
+"""Affine loop tiling and unrolling (used for the linalg-backed intrinsics).
+
+Section VI-A: ``affine-loop-tile`` brought the matmul benchmark from ~5x
+slower to the reported performance, and unrolling + vectorisation gave ~2x on
+dot product.  Both passes operate on loops with constant bounds (which the
+static-shape recovery pass re-establishes for allocatable arrays).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..dialects import affine as affine_d
+from ..ir import types as ir_types
+from ..ir.attributes import AffineMapAttr, IntegerAttr
+from ..ir.core import Block, Operation, Value
+from ..ir.pass_manager import FunctionPass, register_pass
+
+
+def _constant_bounds(loop: affine_d.AffineForOp) -> Optional[tuple]:
+    lb, ub = loop.lower_bound_map, loop.upper_bound_map
+    if len(lb.results) == 1 and lb.results[0].kind == "const" and \
+            len(ub.results) == 1 and ub.results[0].kind == "const":
+        return lb.results[0].value, ub.results[0].value
+    return None
+
+
+def _perfect_nest(loop: affine_d.AffineForOp) -> List[affine_d.AffineForOp]:
+    """The maximal perfectly nested band rooted at ``loop``."""
+    nest = [loop]
+    current = loop
+    while True:
+        body_ops = [op for op in current.body.ops if op.name != "affine.yield"]
+        if len(body_ops) == 1 and body_ops[0].name == "affine.for":
+            current = body_ops[0]
+            nest.append(current)
+        else:
+            break
+    return nest
+
+
+@register_pass
+class AffineLoopTilePass(FunctionPass):
+    """``affine-loop-tile{tile-size=N}``: tile perfect nests of constant-bound
+    affine loops.
+
+    Tiling is recorded structurally: each loop of the band is split into a
+    tile loop (step = tile size) and a point loop (bounded by the tile size),
+    which is exactly how downstream passes and the machine model observe the
+    improved locality.
+    """
+
+    NAME = "affine-loop-tile"
+
+    def run_on_function(self, func: Operation) -> None:
+        tile_size = int(self.options.get("tile_size", 32))
+        bands: List[List[affine_d.AffineForOp]] = []
+        seen = set()
+        for op in func.walk():
+            if op.name == "affine.for" and op not in seen:
+                band = _perfect_nest(op)
+                if len(band) >= 2 and all(_constant_bounds(l) for l in band):
+                    bands.append(band)
+                for loop in band:
+                    seen.add(loop)
+        for band in bands:
+            self._tile_band(band, tile_size)
+
+    def _tile_band(self, band: List[affine_d.AffineForOp], tile: int) -> None:
+        # Mark the band as tiled and change each loop into tile/point form by
+        # doubling the nest: outer loops iterate with step `tile`, inner point
+        # loops run over the tile.
+        outermost = band[0]
+        innermost = band[-1]
+        body_ops = [op for op in innermost.body.ops if op.name != "affine.yield"]
+
+        point_loops: List[affine_d.AffineForOp] = []
+        for loop in band:
+            lb, ub = _constant_bounds(loop)
+            loop.set_attr("tile_step", IntegerAttr(tile))
+            loop.set_attr("tiled", IntegerAttr(1))
+            loop.attributes["step"] = IntegerAttr(tile)
+            point_body = Block(arg_types=[ir_types.index])
+            point = affine_d.AffineForOp([], AffineMapAttr.constant_map(0),
+                                         [], AffineMapAttr.constant_map(min(tile, ub - lb)),
+                                         step=1, body=point_body)
+            point.set_attr("point_loop", IntegerAttr(1))
+            point_loops.append(point)
+
+        # chain: innermost existing loop body -> point loops -> original body ops
+        current_block = innermost.body
+        # detach original body ops (except terminator handled above)
+        for op in body_ops:
+            op.detach()
+        for i, point in enumerate(point_loops):
+            current_block.insert_op_at(0, point)
+            if current_block.terminator is None:
+                current_block.add_op(affine_d.AffineYieldOp())
+            current_block = point.body
+        for op in body_ops:
+            current_block.add_op(op)
+        if current_block.terminator is None:
+            current_block.add_op(affine_d.AffineYieldOp())
+        # rewire index uses: original IV (tile base) + point IV
+        from ..dialects import arith
+        for loop, point in zip(band, point_loops):
+            base_iv = loop.induction_variable
+            point_iv = point.body.args[0] if point.body.args else None
+            add = arith.AddIOp(base_iv, point_iv)
+            point.body.insert_op_at(0, add)
+            # every use of the original IV inside the relocated body now uses
+            # base + point offset (except the add we just created)
+            for use in list(base_iv.uses):
+                user = use.operation
+                if user is add or user is point:
+                    continue
+                if innermost.is_ancestor_of(user) or any(
+                        p.is_ancestor_of(user) for p in point_loops):
+                    user.set_operand(use.index, add.result)
+
+
+@register_pass
+class AffineLoopUnrollPass(FunctionPass):
+    """``affine-loop-unroll{unroll-factor=N}``: unroll innermost affine loops
+    with constant trip counts by replicating their bodies."""
+
+    NAME = "affine-loop-unroll"
+
+    def run_on_function(self, func: Operation) -> None:
+        factor = int(self.options.get("unroll_factor", 4))
+        for op in list(func.walk()):
+            if op.name != "affine.for":
+                continue
+            if any(inner is not op and inner.name == "affine.for" for inner in op.walk()):
+                continue
+            self._unroll(op, factor)
+
+    def _unroll(self, loop: affine_d.AffineForOp, factor: int) -> None:
+        bounds = _constant_bounds(loop)
+        step = loop.step_value
+        if bounds is None:
+            # dynamic bounds: record the request; lowering keeps the loop intact
+            loop.set_attr("unroll_requested", IntegerAttr(factor))
+            return
+        lb, ub = bounds
+        trip = max(0, (ub - lb + step - 1) // step)
+        if trip % factor != 0 or trip == 0:
+            loop.set_attr("unroll_requested", IntegerAttr(factor))
+            return
+        body_ops = [op for op in loop.body.ops if op.name != "affine.yield"]
+        terminator = loop.body.terminator
+        if terminator is not None:
+            terminator.erase(check_uses=False)
+        iv = loop.induction_variable
+        from ..dialects import arith
+        for copy_idx in range(1, factor):
+            offset_const = arith.ConstantOp(copy_idx * step, ir_types.index)
+            loop.body.add_op(offset_const)
+            shifted = arith.AddIOp(iv, offset_const.result)
+            loop.body.add_op(shifted)
+            value_map = {iv: shifted.result}
+            for op in body_ops:
+                clone = op.clone(value_map)
+                loop.body.add_op(clone)
+        loop.body.add_op(affine_d.AffineYieldOp())
+        loop.attributes["step"] = IntegerAttr(step * factor)
+        loop.set_attr("unrolled", IntegerAttr(factor))
+
+
+__all__ = ["AffineLoopTilePass", "AffineLoopUnrollPass"]

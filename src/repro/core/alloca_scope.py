@@ -1,0 +1,60 @@
+"""Wrap translated function bodies in ``memref.alloca_scope`` (Section V-B).
+
+The paper found that stack memory allocated by ``memref.alloca`` was not
+released at function boundaries despite the ``AutomaticAllocationScope`` trait
+on ``func.func``, so the transformation inserts an explicit
+``memref.alloca_scope``.  Because that operation's region may contain at most
+one block, it is only applied to single-block function bodies (functions that
+still contain unstructured control flow keep their blocks untouched).
+"""
+
+from __future__ import annotations
+
+from ..dialects import func as func_d
+from ..dialects import memref as memref_d
+from ..ir.core import Block, Operation
+from ..ir.pass_manager import FunctionPass, register_pass
+
+
+def wrap_in_alloca_scope(func: Operation) -> bool:
+    """Wrap the (single-block) body of ``func`` in memref.alloca_scope.
+
+    Returns True if the function was rewritten.
+    """
+    region = func.regions[0]
+    if len(region.blocks) != 1:
+        return False
+    body = region.blocks[0]
+    if not body.ops:
+        return False
+    if any(op.name == "memref.alloca_scope" for op in body.ops):
+        return False
+    terminator = body.terminator
+    if terminator is None or terminator.name != "func.return":
+        return False
+    has_alloca = any(op.name == "memref.alloca" for op in body.walk())
+    if not has_alloca:
+        return False
+
+    scope_block = Block()
+    scope = memref_d.AllocaScopeOp(body=scope_block)
+    # move everything except the final func.return into the scope
+    for op in list(body.ops):
+        if op is terminator:
+            continue
+        op.detach()
+        scope_block.add_op(op)
+    scope_block.add_op(memref_d.AllocaScopeReturnOp())
+    body.insert_op_at(0, scope)
+    return True
+
+
+@register_pass
+class AllocaScopePass(FunctionPass):
+    NAME = "insert-alloca-scopes"
+
+    def run_on_function(self, func: Operation) -> None:
+        wrap_in_alloca_scope(func)
+
+
+__all__ = ["wrap_in_alloca_scope", "AllocaScopePass"]

@@ -1,0 +1,51 @@
+"""Rewrite of the intermediate branch dialect into real ``cf`` branches.
+
+Section V-A: branches in Flang's IR may reference successor blocks that the
+main transformation pass has not visited yet, so the transformation emits
+``tmpbr`` operations that identify successors by block *index*; this separate
+rewrite then replaces them with ``cf.br`` / ``cf.cond_br`` pointing at the
+translated blocks.
+"""
+
+from __future__ import annotations
+
+from ..dialects import cf, tmpbr
+from ..ir.core import Operation
+from ..ir.pass_manager import FunctionPass, register_pass
+
+
+def fixup_branches(func: Operation) -> int:
+    """Replace tmpbr ops inside ``func`` with cf branches.  Returns the number
+    of rewritten branches."""
+    rewritten = 0
+    for region in func.regions:
+        blocks = region.blocks
+        for block in blocks:
+            for op in list(block.ops):
+                if isinstance(op, tmpbr.BrOp):
+                    dest = blocks[op.block_index]
+                    new = cf.BranchOp(dest, list(op.operands))
+                    block.insert_before(op, new)
+                    op.erase(check_uses=False)
+                    rewritten += 1
+                elif isinstance(op, tmpbr.CondBrOp):
+                    true_dest = blocks[op.true_index]
+                    false_dest = blocks[op.false_index]
+                    new = cf.CondBranchOp(op.condition, true_dest, false_dest,
+                                          list(op.true_operands),
+                                          list(op.false_operands))
+                    block.insert_before(op, new)
+                    op.erase(check_uses=False)
+                    rewritten += 1
+    return rewritten
+
+
+@register_pass
+class BranchFixupPass(FunctionPass):
+    NAME = "fixup-temporary-branches"
+
+    def run_on_function(self, func: Operation) -> None:
+        fixup_branches(func)
+
+
+__all__ = ["fixup_branches", "BranchFixupPass"]

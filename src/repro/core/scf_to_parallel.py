@@ -1,0 +1,85 @@
+"""Convert eligible ``scf.for`` loops to ``scf.parallel`` (Section VI-A).
+
+The paper describes this as "a very simple transformation pass that converts
+appropriate scf.for loops to their scf.parallel loop counterparts", enabling
+OpenMP via ``convert-scf-to-openmp``.  It deliberately does not support
+reductions yet, so loops whose bodies read-modify-write a rank-0 memref (or
+carry iteration arguments) are left untouched — exactly the limitation the
+paper notes for the dot-product and sum benchmarks in Table III.
+"""
+
+from __future__ import annotations
+
+from ..dialects import scf
+from ..ir import types as ir_types
+from ..ir.core import Operation
+from ..ir.pass_manager import FunctionPass, register_pass
+
+_LOOP_PARENTS = ("scf.for", "scf.parallel", "affine.for", "omp.wsloop")
+
+
+def _is_outermost(loop: Operation) -> bool:
+    return not any(a.name in _LOOP_PARENTS for a in loop.ancestors())
+
+
+def _derives_from_block_argument(value) -> bool:
+    """True when a value is (a cast of) a loop induction variable."""
+    from ..ir.core import BlockArgument
+    seen = 0
+    while seen < 4:
+        if isinstance(value, BlockArgument):
+            return True
+        op = getattr(value, "op", None)
+        if op is None or op.name not in ("arith.index_cast", "arith.extsi",
+                                         "arith.trunci", "arith.sitofp"):
+            return False
+        value = op.operands[0]
+        seen += 1
+    return False
+
+
+def _has_reduction(loop: Operation) -> bool:
+    """Conservatively detect read-modify-write of a location defined outside.
+
+    Stores of (casts of) loop induction variables into the Fortran iteration
+    variable are not reductions and are ignored."""
+    for op in loop.walk():
+        if op.name == "memref.store":
+            memref_value = op.operands[1]
+            if isinstance(memref_value.type, ir_types.MemRefType) and \
+                    memref_value.type.rank == 0 and \
+                    not _derives_from_block_argument(op.operands[0]):
+                return True
+    return False
+
+
+def convert_loop_to_parallel(loop: scf.ForOp) -> bool:
+    if loop.iter_args or _has_reduction(loop):
+        return False
+    parallel = scf.ParallelOp([loop.lower_bound], [loop.upper_bound], [loop.step])
+    loop.parent.insert_before(loop, parallel)
+    loop.induction_variable.replace_all_uses_with(parallel.induction_variables[0])
+    for op in list(loop.body.ops):
+        op.detach()
+        if op.name == "scf.yield":
+            op.drop_all_references()
+            continue
+        parallel.body.add_op(op)
+    parallel.body.add_op(scf.YieldOp())
+    loop.erase(check_uses=False)
+    return True
+
+
+@register_pass
+class ScfForToParallelPass(FunctionPass):
+    """``convert-scf-for-to-parallel``: parallelise outermost eligible loops."""
+
+    NAME = "convert-scf-for-to-parallel"
+
+    def run_on_function(self, func: Operation) -> None:
+        for op in list(func.walk()):
+            if op.name == "scf.for" and op.parent is not None and _is_outermost(op):
+                convert_loop_to_parallel(op)
+
+
+__all__ = ["ScfForToParallelPass", "convert_loop_to_parallel"]

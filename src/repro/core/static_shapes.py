@@ -1,0 +1,103 @@
+"""Static-shape recovery for allocatable arrays (Section VI).
+
+Dynamically sized memrefs (``memref<?x?xf64>``) severely limited the
+effectiveness of the standard MLIR optimisation passes.  This pass detects
+allocatable arrays that are
+
+* allocated exactly once with compile-time-constant bounds, and
+* never reallocated afterwards,
+
+and rewrites the dynamically sized memref types to their static counterparts
+(``memref<128x128xf64>``), also rewriting the ``memref.alloc`` to drop its
+dynamic size operands and encode the bounds in the result type.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..dialects import memref as memref_d
+from ..ir import types as ir_types
+from ..ir.core import Operation, Value
+from ..ir.pass_manager import FunctionPass, register_pass
+
+
+def _constant_value(value: Value) -> Optional[int]:
+    op = getattr(value, "op", None)
+    if op is not None and op.name == "arith.constant":
+        return int(op.get_attr("value").value)
+    return None
+
+
+def _stores_to_outer(outer: Value, func: Operation) -> List[Operation]:
+    """memref.store ops whose destination is the outer (boxed) memref."""
+    return [op for op in func.walk()
+            if op.name == "memref.store" and len(op.operands) >= 2
+            and op.operands[1] is outer]
+
+
+class StaticShapeRecovery:
+    def __init__(self, func: Operation):
+        self.func = func
+        self.rewritten = 0
+
+    def run(self) -> int:
+        for op in list(self.func.walk()):
+            if op.name != "memref.alloca":
+                continue
+            result_type = op.results[0].type
+            if not (isinstance(result_type, ir_types.MemRefType)
+                    and result_type.rank == 0
+                    and isinstance(result_type.element_type, ir_types.MemRefType)):
+                continue
+            self._try_rewrite_boxed(op)
+        return self.rewritten
+
+    def _try_rewrite_boxed(self, outer_alloca: Operation) -> None:
+        outer = outer_alloca.results[0]
+        stores = _stores_to_outer(outer, self.func)
+        if len(stores) != 1:
+            return  # reallocated (or never allocated): leave dynamic
+        store = stores[0]
+        inner_value = store.operands[0]
+        alloc = getattr(inner_value, "op", None)
+        if alloc is None or alloc.name != "memref.alloc":
+            return
+        sizes = [
+            _constant_value(v) for v in alloc.operands
+        ]
+        if any(s is None for s in sizes):
+            return
+        old_type = alloc.results[0].type
+        static_shape = []
+        size_iter = iter(sizes)
+        for d in old_type.shape:
+            static_shape.append(next(size_iter) if d == ir_types.DYNAMIC else d)
+        new_inner_type = ir_types.MemRefType(static_shape, old_type.element_type)
+
+        # rewrite the alloc: drop dynamic operands, use the static result type
+        new_alloc = memref_d.AllocOp(new_inner_type)
+        alloc.parent.insert_before(alloc, new_alloc)
+        alloc.results[0].replace_all_uses_with(new_alloc.results[0])
+        alloc.erase(check_uses=False)
+
+        # retype the outer memref and every load of it
+        new_outer_type = ir_types.MemRefType([], new_inner_type)
+        outer.type = new_outer_type
+        for user in outer.users():
+            if user.name == "memref.load" and user.operands[0] is outer:
+                user.results[0].type = new_inner_type
+        self.rewritten += 1
+
+
+@register_pass
+class StaticShapeRecoveryPass(FunctionPass):
+    """``recover-static-shapes``: the paper's dynamic->static memref pass."""
+
+    NAME = "recover-static-shapes"
+
+    def run_on_function(self, func: Operation) -> None:
+        StaticShapeRecovery(func).run()
+
+
+__all__ = ["StaticShapeRecoveryPass", "StaticShapeRecovery"]

@@ -1,0 +1,37 @@
+"""IR dialects: standard MLIR dialects plus Flang's FIR/HLFIR dialects.
+
+Importing this package registers every operation class with the global
+operation registry, so generic IR utilities (cloning, interpretation,
+printing) can resolve operations by name.
+"""
+
+from . import (acc, affine, arith, builtin, cf, fir, func, gpu, hlfir, linalg,
+               llvm, math, memref, omp, scf, tmpbr, vector)
+
+#: Names of the standard MLIR dialects (everything that is *not* Flang-specific).
+STANDARD_DIALECTS = frozenset({
+    "builtin", "arith", "func", "scf", "cf", "memref", "affine", "linalg",
+    "vector", "math", "llvm", "omp", "acc", "gpu",
+})
+
+#: Names of the Flang-specific dialects the paper's transformation removes.
+FLANG_DIALECTS = frozenset({"fir", "hlfir"})
+
+
+def dialects_used(module) -> set:
+    """The set of dialect names appearing in a module."""
+    return {op.dialect for op in module.walk()}
+
+
+def uses_only_standard_dialects(module) -> bool:
+    """True when no Flang-specific (or temporary) operations remain."""
+    used = dialects_used(module)
+    return not (used & FLANG_DIALECTS) and "tmpbr" not in used
+
+
+__all__ = [
+    "acc", "affine", "arith", "builtin", "cf", "fir", "func", "gpu", "hlfir",
+    "linalg", "llvm", "math", "memref", "omp", "scf", "tmpbr", "vector",
+    "STANDARD_DIALECTS", "FLANG_DIALECTS", "dialects_used",
+    "uses_only_standard_dialects",
+]

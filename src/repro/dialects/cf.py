@@ -1,0 +1,72 @@
+"""The ``cf`` dialect: unstructured control flow between blocks."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..ir.core import Block, Operation, Value, register_op
+from ..ir.traits import IS_TERMINATOR
+
+
+@register_op
+class BranchOp(Operation):
+    """Unconditional branch, optionally forwarding block arguments."""
+
+    OP_NAME = "cf.br"
+    TRAITS = frozenset({IS_TERMINATOR})
+
+    def __init__(self, dest: Block, operands: Sequence[Value] = ()):
+        super().__init__(operands=list(operands), successors=[dest])
+
+    @property
+    def dest(self) -> Block:
+        return self.successors[0]
+
+
+@register_op
+class CondBranchOp(Operation):
+    """Conditional branch to one of two successor blocks.
+
+    Operand layout: ``[condition, true_args..., false_args...]`` with the
+    split recorded so each successor receives its own forwarded values.
+    """
+
+    OP_NAME = "cf.cond_br"
+    TRAITS = frozenset({IS_TERMINATOR})
+
+    def __init__(self, condition: Value, true_dest: Block, false_dest: Block,
+                 true_operands: Sequence[Value] = (),
+                 false_operands: Sequence[Value] = ()):
+        from ..ir.attributes import IntegerAttr
+        super().__init__(operands=[condition, *true_operands, *false_operands],
+                         successors=[true_dest, false_dest],
+                         attributes={"num_true_operands": IntegerAttr(len(true_operands))})
+
+    @property
+    def condition(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def true_dest(self) -> Block:
+        return self.successors[0]
+
+    @property
+    def false_dest(self) -> Block:
+        return self.successors[1]
+
+    def _num_true(self) -> int:
+        attr = self.get_attr("num_true_operands")
+        return attr.value if attr is not None else len(self.operands) - 1
+
+    @property
+    def true_operands(self):
+        n = self._num_true()
+        return self.operands[1:1 + n]
+
+    @property
+    def false_operands(self):
+        n = self._num_true()
+        return self.operands[1 + n:]
+
+
+__all__ = ["BranchOp", "CondBranchOp"]

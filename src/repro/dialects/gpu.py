@@ -1,0 +1,205 @@
+"""The ``gpu`` dialect: kernel launch, host registration and device memory."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..ir.attributes import IntegerAttr, StringAttr, SymbolRefAttr
+from ..ir.core import Block, Operation, Region, Value, register_op
+from ..ir.traits import (IS_TERMINATOR, LOOP_LIKE, STRUCTURED_CONTROL_FLOW,
+                         SYMBOL, SYMBOL_TABLE)
+from ..ir.types import MemRefType, Type, index
+
+
+@register_op
+class TerminatorOp(Operation):
+    OP_NAME = "gpu.terminator"
+    TRAITS = frozenset({IS_TERMINATOR})
+
+    def __init__(self):
+        super().__init__()
+
+
+@register_op
+class ReturnOp(Operation):
+    OP_NAME = "gpu.return"
+    TRAITS = frozenset({IS_TERMINATOR})
+
+    def __init__(self, values: Sequence[Value] = ()):
+        super().__init__(operands=list(values))
+
+
+@register_op
+class HostRegisterOp(Operation):
+    """Register host memory for unified/managed access from the device."""
+
+    OP_NAME = "gpu.host_register"
+
+    def __init__(self, memref: Value):
+        super().__init__(operands=[memref])
+
+
+@register_op
+class HostUnregisterOp(Operation):
+    OP_NAME = "gpu.host_unregister"
+
+    def __init__(self, memref: Value):
+        super().__init__(operands=[memref])
+
+
+@register_op
+class GPUModuleOp(Operation):
+    """``gpu.module`` — container of device functions."""
+
+    OP_NAME = "gpu.module"
+    TRAITS = frozenset({SYMBOL, SYMBOL_TABLE})
+
+    def __init__(self, sym_name: str):
+        super().__init__(regions=[Region([Block()])],
+                         attributes={"sym_name": StringAttr(sym_name)})
+
+    @property
+    def body(self) -> Block:
+        return self.regions[0].blocks[0]
+
+    @property
+    def sym_name(self) -> str:
+        return self.attributes["sym_name"].value
+
+
+@register_op
+class GPUFuncOp(Operation):
+    """``gpu.func`` — a device kernel function."""
+
+    OP_NAME = "gpu.func"
+    TRAITS = frozenset({SYMBOL})
+
+    def __init__(self, sym_name: str, arg_types: Sequence[Type]):
+        super().__init__(regions=[Region([Block(arg_types=arg_types)])],
+                         attributes={"sym_name": StringAttr(sym_name),
+                                     "kernel": IntegerAttr(1)})
+
+    @property
+    def body(self) -> Block:
+        return self.regions[0].blocks[0]
+
+    @property
+    def sym_name(self) -> str:
+        return self.attributes["sym_name"].value
+
+
+@register_op
+class LaunchOp(Operation):
+    """``gpu.launch`` — inline kernel launch over a grid/block configuration.
+
+    Operands: grid sizes (x, y, z) then block sizes (x, y, z).  The body block
+    receives the block ids, thread ids, grid dims and block dims (12 index
+    arguments) mirroring MLIR's gpu.launch.
+    """
+
+    OP_NAME = "gpu.launch"
+    TRAITS = frozenset({STRUCTURED_CONTROL_FLOW, LOOP_LIKE})
+
+    def __init__(self, grid: Sequence[Value], block: Sequence[Value],
+                 body: Optional[Block] = None):
+        if len(grid) != 3 or len(block) != 3:
+            raise ValueError("gpu.launch expects 3 grid and 3 block sizes")
+        if body is None:
+            body = Block(arg_types=[index] * 12)
+        super().__init__(operands=[*grid, *block], regions=[Region([body])])
+
+    @property
+    def grid_sizes(self):
+        return self.operands[0:3]
+
+    @property
+    def block_sizes(self):
+        return self.operands[3:6]
+
+    @property
+    def body(self) -> Block:
+        return self.regions[0].blocks[0]
+
+
+@register_op
+class LaunchFuncOp(Operation):
+    """``gpu.launch_func`` — launch a named kernel."""
+
+    OP_NAME = "gpu.launch_func"
+
+    def __init__(self, kernel: str, grid: Sequence[Value], block: Sequence[Value],
+                 kernel_operands: Sequence[Value] = ()):
+        super().__init__(operands=[*grid, *block, *kernel_operands],
+                         attributes={"kernel": SymbolRefAttr(kernel)})
+
+    @property
+    def kernel(self) -> str:
+        return self.attributes["kernel"].root
+
+
+@register_op
+class AllocOp(Operation):
+    OP_NAME = "gpu.alloc"
+
+    def __init__(self, memref_type: MemRefType, dynamic_sizes: Sequence[Value] = ()):
+        super().__init__(operands=list(dynamic_sizes), result_types=[memref_type])
+
+
+@register_op
+class DeallocOp(Operation):
+    OP_NAME = "gpu.dealloc"
+
+    def __init__(self, memref: Value):
+        super().__init__(operands=[memref])
+
+
+@register_op
+class MemcpyOp(Operation):
+    OP_NAME = "gpu.memcpy"
+
+    def __init__(self, dst: Value, src: Value):
+        super().__init__(operands=[dst, src])
+
+
+@register_op
+class ThreadIdOp(Operation):
+    OP_NAME = "gpu.thread_id"
+
+    def __init__(self, dimension: str = "x"):
+        super().__init__(result_types=[index],
+                         attributes={"dimension": StringAttr(dimension)})
+
+
+@register_op
+class BlockIdOp(Operation):
+    OP_NAME = "gpu.block_id"
+
+    def __init__(self, dimension: str = "x"):
+        super().__init__(result_types=[index],
+                         attributes={"dimension": StringAttr(dimension)})
+
+
+@register_op
+class BlockDimOp(Operation):
+    OP_NAME = "gpu.block_dim"
+
+    def __init__(self, dimension: str = "x"):
+        super().__init__(result_types=[index],
+                         attributes={"dimension": StringAttr(dimension)})
+
+
+@register_op
+class GridDimOp(Operation):
+    OP_NAME = "gpu.grid_dim"
+
+    def __init__(self, dimension: str = "x"):
+        super().__init__(result_types=[index],
+                         attributes={"dimension": StringAttr(dimension)})
+
+
+__all__ = [
+    "TerminatorOp", "ReturnOp", "HostRegisterOp", "HostUnregisterOp",
+    "GPUModuleOp", "GPUFuncOp", "LaunchOp", "LaunchFuncOp", "AllocOp",
+    "DeallocOp", "MemcpyOp", "ThreadIdOp", "BlockIdOp", "BlockDimOp",
+    "GridDimOp",
+]

@@ -1,0 +1,133 @@
+"""The ``math`` dialect: elementary transcendental functions and FMA."""
+
+from __future__ import annotations
+
+from ..ir.core import Operation, Value, register_op
+from ..ir.traits import PURE
+
+
+class _UnaryMathOp(Operation):
+    TRAITS = frozenset({PURE})
+
+    def __init__(self, value: Value):
+        super().__init__(operands=[value], result_types=[value.type])
+
+
+class _BinaryMathOp(Operation):
+    TRAITS = frozenset({PURE})
+
+    def __init__(self, lhs: Value, rhs: Value):
+        super().__init__(operands=[lhs, rhs], result_types=[lhs.type])
+
+
+@register_op
+class SqrtOp(_UnaryMathOp):
+    OP_NAME = "math.sqrt"
+
+
+@register_op
+class ExpOp(_UnaryMathOp):
+    OP_NAME = "math.exp"
+
+
+@register_op
+class LogOp(_UnaryMathOp):
+    OP_NAME = "math.log"
+
+
+@register_op
+class Log10Op(_UnaryMathOp):
+    OP_NAME = "math.log10"
+
+
+@register_op
+class SinOp(_UnaryMathOp):
+    OP_NAME = "math.sin"
+
+
+@register_op
+class CosOp(_UnaryMathOp):
+    OP_NAME = "math.cos"
+
+
+@register_op
+class TanOp(_UnaryMathOp):
+    OP_NAME = "math.tan"
+
+
+@register_op
+class TanhOp(_UnaryMathOp):
+    OP_NAME = "math.tanh"
+
+
+@register_op
+class AbsFOp(_UnaryMathOp):
+    OP_NAME = "math.absf"
+
+
+@register_op
+class AbsIOp(_UnaryMathOp):
+    OP_NAME = "math.absi"
+
+
+@register_op
+class AtanOp(_UnaryMathOp):
+    OP_NAME = "math.atan"
+
+
+@register_op
+class Atan2Op(_BinaryMathOp):
+    OP_NAME = "math.atan2"
+
+
+@register_op
+class PowFOp(_BinaryMathOp):
+    OP_NAME = "math.powf"
+
+
+@register_op
+class IPowIOp(_BinaryMathOp):
+    OP_NAME = "math.ipowi"
+
+
+@register_op
+class FPowIOp(_BinaryMathOp):
+    OP_NAME = "math.fpowi"
+
+
+@register_op
+class FmaOp(Operation):
+    """Scalar fused multiply-add produced by ``math-uplift-to-fma``."""
+
+    OP_NAME = "math.fma"
+    TRAITS = frozenset({PURE})
+
+    def __init__(self, a: Value, b: Value, c: Value):
+        super().__init__(operands=[a, b, c], result_types=[a.type])
+
+
+#: Fortran intrinsic name -> unary math op class.
+UNARY_INTRINSIC_OPS = {
+    "sqrt": SqrtOp,
+    "exp": ExpOp,
+    "log": LogOp,
+    "log10": Log10Op,
+    "sin": SinOp,
+    "cos": CosOp,
+    "tan": TanOp,
+    "tanh": TanhOp,
+    "atan": AtanOp,
+    "abs": AbsFOp,
+}
+
+#: Fortran intrinsic name -> binary math op class.
+BINARY_INTRINSIC_OPS = {
+    "atan2": Atan2Op,
+}
+
+
+__all__ = [
+    "SqrtOp", "ExpOp", "LogOp", "Log10Op", "SinOp", "CosOp", "TanOp", "TanhOp",
+    "AbsFOp", "AbsIOp", "AtanOp", "Atan2Op", "PowFOp", "IPowIOp", "FPowIOp",
+    "FmaOp", "UNARY_INTRINSIC_OPS", "BINARY_INTRINSIC_OPS",
+]

@@ -1,0 +1,79 @@
+"""The intermediate branch dialect of Section V-A.
+
+When converting Flang's unstructured control flow (``cf.br`` /
+``cf.cond_br``) the successor blocks of a branch may not have been created
+yet by the main transformation pass.  The paper therefore introduces an
+intermediate dialect whose branch operations refer to successor blocks *by
+relative index*; a separate rewrite afterwards replaces them with real
+``cf.br`` / ``cf.cond_br`` operations pointing at the translated blocks
+(:mod:`repro.core.branch_fixup`).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..ir.attributes import IntegerAttr
+from ..ir.core import Operation, Value, register_op
+from ..ir.traits import IS_TERMINATOR
+
+
+@register_op
+class BrOp(Operation):
+    """Unconditional branch to the block with the given index in the target
+    region (block order of the *source* Flang IR)."""
+
+    OP_NAME = "tmpbr.br"
+    TRAITS = frozenset({IS_TERMINATOR})
+
+    def __init__(self, block_index: int, operands: Sequence[Value] = ()):
+        super().__init__(operands=list(operands),
+                         attributes={"block_index": IntegerAttr(block_index)})
+
+    @property
+    def block_index(self) -> int:
+        return self.attributes["block_index"].value
+
+
+@register_op
+class CondBrOp(Operation):
+    """Conditional branch to blocks identified by their indices."""
+
+    OP_NAME = "tmpbr.cond_br"
+    TRAITS = frozenset({IS_TERMINATOR})
+
+    def __init__(self, condition: Value, true_index: int, false_index: int,
+                 true_operands: Sequence[Value] = (),
+                 false_operands: Sequence[Value] = ()):
+        super().__init__(
+            operands=[condition, *true_operands, *false_operands],
+            attributes={
+                "true_index": IntegerAttr(true_index),
+                "false_index": IntegerAttr(false_index),
+                "num_true_operands": IntegerAttr(len(true_operands)),
+            })
+
+    @property
+    def condition(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def true_index(self) -> int:
+        return self.attributes["true_index"].value
+
+    @property
+    def false_index(self) -> int:
+        return self.attributes["false_index"].value
+
+    @property
+    def true_operands(self):
+        n = self.attributes["num_true_operands"].value
+        return self.operands[1:1 + n]
+
+    @property
+    def false_operands(self):
+        n = self.attributes["num_true_operands"].value
+        return self.operands[1 + n:]
+
+
+__all__ = ["BrOp", "CondBrOp"]

@@ -1,0 +1,17 @@
+"""The baseline Flang compilation flow: HLFIR -> FIR -> LLVM dialect.
+
+This package models the *status quo* the paper compares against: Flang's
+bespoke lowering that bypasses the standard MLIR dialects and optimisation
+passes (Figure 1).
+"""
+
+from .codegen import FirCfgConversionPass, FirToLLVMPass, FlangCodegenError
+from .driver import FlangCompilationResult, FlangCompiler, FlangV17Compiler
+from .hlfir_to_fir import ConvertHlfirToFirPass, convert_hlfir_to_fir
+from . import runtime
+
+__all__ = [
+    "FirCfgConversionPass", "FirToLLVMPass", "FlangCodegenError",
+    "FlangCompilationResult", "FlangCompiler", "FlangV17Compiler",
+    "ConvertHlfirToFirPass", "convert_hlfir_to_fir", "runtime",
+]

@@ -1,0 +1,421 @@
+"""Flang's direct FIR -> LLVM-dialect code generation (the baseline flow).
+
+This is the bespoke lowering the paper contrasts with the standard-MLIR
+pipeline: once the IR is FIR-only, Flang flattens its structured control flow
+and emits the ``llvm`` dialect directly, without going through scf / memref /
+affine / vector and without any of the standard optimisation passes.  The
+resulting code is scalar, performs per-access address arithmetic and calls
+the Fortran runtime for array intrinsics.
+
+Two passes are provided:
+
+* ``fir-cfg-conversion`` — flatten ``fir.do_loop`` / ``fir.if`` /
+  ``fir.iterate_while`` (and OpenMP regions, via __kmpc runtime calls) into
+  branch-based control flow;
+* ``fir-to-llvm`` — one-to-one conversion of the remaining FIR / arith /
+  math / cf / func operations into the ``llvm`` dialect.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..dialects import arith, cf, fir
+from ..dialects import func as func_d
+from ..dialects import llvm, math as math_d, omp
+from ..ir import types as ir_types
+from ..ir.attributes import IntegerAttr
+from ..ir.core import Block, Operation, Region, Value, create_operation
+from ..ir.pass_manager import FunctionPass, Pass, register_pass
+from ..transforms.cfg import CFGLowering, split_block
+from ..transforms.llvm_common import ARITH_TO_LLVM as _SHARED_ARITH, MATH_TO_LIBM as _SHARED_MATH, llvm_type as _shared_llvm_type
+
+
+class FlangCodegenError(Exception):
+    """Raised when Flang's code generation cannot handle the input IR.
+
+    Notably raised for OpenACC input, mirroring the
+    ``LLVMTranslationDialectInterface`` internal error the paper reports for
+    Flang v18 (Section VI-C).
+    """
+
+
+# ---------------------------------------------------------------------------
+# Stage 1: structured FIR control flow -> CFG
+# ---------------------------------------------------------------------------
+
+
+class FirCfgLowering(CFGLowering):
+    structured_op_names = ("fir.do_loop", "fir.iterate_while", "fir.if",
+                           "omp.parallel", "omp.wsloop")
+
+    def lower_fir_do_loop(self, op: fir.DoLoopOp) -> None:
+        parent_block = op.parent
+        region = parent_block.parent
+        tail = split_block(parent_block, op)
+        op.detach()
+
+        iter_types = [v.type for v in op.iter_args]
+        cond_block = Block(arg_types=[ir_types.index] + iter_types)
+        region.insert_block_at(parent_block.index_in_region() + 1, cond_block)
+        body_block = op.body
+        op.regions[0].blocks.remove(body_block)
+        region.insert_block_at(cond_block.index_in_region() + 1, body_block)
+
+        for res in op.results:
+            arg = tail.add_argument(res.type)
+            res.replace_all_uses_with(arg)
+
+        parent_block.add_op(cf.BranchOp(cond_block, [op.lower_bound, *op.iter_args]))
+
+        # Fortran do loops iterate while iv <= ub (positive step) or iv >= ub
+        # (negative step); Flang emits both comparisons and selects on the
+        # step sign (visible as extra per-iteration instructions).
+        iv = cond_block.args[0]
+        zero = arith.ConstantOp(0, ir_types.index)
+        step_pos = arith.CmpIOp("sgt", op.step, zero.result)
+        le = arith.CmpIOp("sle", iv, op.upper_bound)
+        ge = arith.CmpIOp("sge", iv, op.upper_bound)
+        keep = arith.SelectOp(step_pos.result, le.result, ge.result)
+        for o in (zero, step_pos, le, ge, keep):
+            cond_block.add_op(o)
+        cond_block.add_op(cf.CondBranchOp(
+            keep.result, body_block, tail,
+            list(cond_block.args), list(cond_block.args)))
+
+        result_op = body_block.terminator
+        yielded = list(result_op.operands) if result_op is not None else []
+        if result_op is not None:
+            result_op.erase(check_uses=False)
+        incr = arith.AddIOp(body_block.args[0], op.step)
+        body_block.add_op(incr)
+        body_block.add_op(cf.BranchOp(cond_block, [incr.result, *yielded]))
+        op.erase(check_uses=False)
+
+    def lower_fir_iterate_while(self, op: fir.IterateWhileOp) -> None:
+        parent_block = op.parent
+        region = parent_block.parent
+        tail = split_block(parent_block, op)
+        op.detach()
+
+        iter_types = [v.type for v in op.iter_args]
+        cond_block = Block(arg_types=[ir_types.index, ir_types.i1] + iter_types)
+        region.insert_block_at(parent_block.index_in_region() + 1, cond_block)
+        body_block = op.body
+        op.regions[0].blocks.remove(body_block)
+        region.insert_block_at(cond_block.index_in_region() + 1, body_block)
+
+        for res in op.results:
+            arg = tail.add_argument(res.type)
+            res.replace_all_uses_with(arg)
+
+        parent_block.add_op(cf.BranchOp(
+            cond_block, [op.lower_bound, op.initial_ok, *op.iter_args]))
+
+        iv, ok = cond_block.args[0], cond_block.args[1]
+        in_range = arith.CmpIOp("sle", iv, op.upper_bound)
+        keep = arith.AndIOp(in_range.result, ok)
+        cond_block.add_op(in_range)
+        cond_block.add_op(keep)
+        cond_block.add_op(cf.CondBranchOp(
+            keep.result, body_block, tail,
+            list(cond_block.args), list(cond_block.args)))
+
+        result_op = body_block.terminator
+        yielded = list(result_op.operands) if result_op is not None else []
+        if result_op is not None:
+            result_op.erase(check_uses=False)
+        incr = arith.AddIOp(body_block.args[0], op.step)
+        body_block.add_op(incr)
+        new_ok = yielded[0] if yielded else ok
+        body_block.add_op(cf.BranchOp(cond_block, [incr.result, new_ok, *yielded[1:]]))
+        op.erase(check_uses=False)
+
+    def lower_fir_if(self, op: fir.IfOp) -> None:
+        parent_block = op.parent
+        region = parent_block.parent
+        tail = split_block(parent_block, op)
+        op.detach()
+
+        for res in op.results:
+            arg = tail.add_argument(res.type)
+            res.replace_all_uses_with(arg)
+
+        then_block = op.then_block
+        else_block = op.else_block
+        op.regions[0].blocks.remove(then_block)
+        op.regions[1].blocks.remove(else_block)
+        region.insert_block_at(parent_block.index_in_region() + 1, then_block)
+        region.insert_block_at(then_block.index_in_region() + 1, else_block)
+        for block in (then_block, else_block):
+            terminator = block.terminator
+            values = list(terminator.operands) if terminator is not None else []
+            if terminator is not None:
+                terminator.erase(check_uses=False)
+            block.add_op(cf.BranchOp(tail, values))
+        parent_block.add_op(cf.CondBranchOp(op.condition, then_block, else_block))
+        op.erase(check_uses=False)
+
+    # -- OpenMP: lower to __kmpc runtime calls --------------------------------------
+    def lower_omp_parallel(self, op: omp.ParallelOp) -> None:
+        parent_block = op.parent
+        parent_block.insert_before(op, fir.CallOp("__kmpc_fork_call", []))
+        body = op.body
+        terminator = body.terminator
+        if terminator is not None:
+            terminator.erase(check_uses=False)
+        for inner in list(body.ops):
+            inner.detach()
+            parent_block.insert_before(op, inner)
+        op.erase(check_uses=False)
+
+    def lower_omp_wsloop(self, op: omp.WsLoopOp) -> None:
+        parent_block = op.parent
+        parent_block.insert_before(op, fir.CallOp("__kmpc_for_static_init_4", []))
+        # rebuild as a fir.do_loop so the generic loop lowering applies
+        loop = fir.DoLoopOp(op.lower_bounds[0], op.upper_bounds[0], op.steps[0])
+        parent_block.insert_before(op, loop)
+        body = op.body
+        for arg, new in zip(body.args, [loop.induction_variable]):
+            arg.replace_all_uses_with(new)
+        for inner in list(body.ops):
+            if inner.name in ("omp.yield", "omp.terminator"):
+                inner.erase(check_uses=False)
+                continue
+            inner.detach()
+            loop.body.add_op(inner)
+        if loop.body.terminator is None:
+            loop.body.add_op(fir.ResultOp())
+        parent_block.insert_after(loop, fir.CallOp("__kmpc_for_static_fini", []))
+        op.erase(check_uses=False)
+        # the freshly created do_loop is handled by a later iteration
+
+
+@register_pass
+class FirCfgConversionPass(FunctionPass):
+    NAME = "fir-cfg-conversion"
+
+    def run_on_function(self, func: Operation) -> None:
+        for op in func.walk():
+            if op.dialect == "acc":
+                raise FlangCodegenError(
+                    "flang codegen: missing LLVMTranslationDialectInterface for "
+                    "the 'acc' dialect (internal compiler error)")
+        FirCfgLowering().run_on_function(func)
+
+
+# ---------------------------------------------------------------------------
+# Stage 2: one-to-one conversion to the llvm dialect
+# ---------------------------------------------------------------------------
+
+
+def _llvm_type(t: ir_types.Type) -> ir_types.Type:
+    """FIR/builtin type -> llvm dialect type (shared table)."""
+    return _shared_llvm_type(t)
+
+
+_ARITH_TO_LLVM = dict(_SHARED_ARITH)
+
+_MATH_TO_LIBM = dict(_SHARED_MATH)
+
+
+class _FirToLLVM:
+    """One-to-one rewrite of FIR/arith/math/cf/func ops into the llvm dialect."""
+
+    def __init__(self, module: Operation):
+        self.module = module
+
+    def run(self) -> None:
+        for func in list(self.module.walk()):
+            if func.name == "func.func":
+                self._convert_function(func)
+
+    def _convert_function(self, func: Operation) -> None:
+        # retype block arguments
+        for region in func.regions:
+            for block in region.blocks:
+                for arg in block.args:
+                    arg.type = _llvm_type(arg.type)
+        for op in list(func.walk()):
+            if op is func:
+                continue
+            self._convert_op(op)
+        func.set_attr("llvm.emit_c_interface", IntegerAttr(1))
+
+    def _replace(self, op: Operation, new_ops: List[Operation],
+                 result_map: Optional[List[Value]] = None) -> None:
+        block = op.parent
+        for new_op in new_ops:
+            block.insert_before(op, new_op)
+        results = result_map if result_map is not None else \
+            (list(new_ops[-1].results) if new_ops else [])
+        if op.results:
+            op.replace_all_uses_with(results)
+        op.erase(check_uses=False)
+
+    def _convert_op(self, op: Operation) -> None:
+        name = op.name
+        if name in _ARITH_TO_LLVM:
+            new = create_operation(_ARITH_TO_LLVM[name], operands=list(op.operands),
+                                   result_types=[_llvm_type(r.type) for r in op.results],
+                                   attributes=dict(op.attributes))
+            self._replace(op, [new])
+        elif name == "arith.constant":
+            attr = op.attributes["value"]
+            new = llvm.ConstantOp(attr, _llvm_type(op.results[0].type))
+            self._replace(op, [new])
+        elif name == "arith.cmpi":
+            new = llvm.ICmpOp(op.attributes["predicate"].value, op.operands[0], op.operands[1])
+            self._replace(op, [new])
+        elif name == "arith.cmpf":
+            new = llvm.FCmpOp(op.attributes["predicate"].value, op.operands[0], op.operands[1])
+            self._replace(op, [new])
+        elif name in ("arith.maximumf", "arith.minimumf", "arith.maxsi", "arith.minsi"):
+            pred = {"arith.maximumf": "ogt", "arith.minimumf": "olt",
+                    "arith.maxsi": "sgt", "arith.minsi": "slt"}[name]
+            cmp_cls = llvm.FCmpOp if name.endswith("f") else llvm.ICmpOp
+            cmp = cmp_cls(pred, op.operands[0], op.operands[1])
+            sel = llvm.SelectOp(cmp.results[0], op.operands[0], op.operands[1])
+            self._replace(op, [cmp, sel])
+        elif name == "arith.index_cast":
+            self._replace(op, [], result_map=[op.operands[0]])
+        elif name in _MATH_TO_LIBM:
+            new = llvm.CallOp(_MATH_TO_LIBM[name], list(op.operands),
+                              [_llvm_type(r.type) for r in op.results])
+            self._replace(op, [new])
+        elif name == "fir.alloca":
+            size_ops: List[Operation] = []
+            in_type = op.get_attr("in_type").type if op.get_attr("in_type") else None
+            static_elems = 1
+            if isinstance(in_type, fir.SequenceType) and in_type.has_static_shape():
+                for d in in_type.shape:
+                    static_elems *= d
+            if op.operands:
+                size: Value = op.operands[0]
+                for extra in op.operands[1:]:
+                    mul = llvm.MulOp(size, extra)
+                    size_ops.append(mul)
+                    size = mul.results[0]
+            else:
+                const = llvm.ConstantOp(IntegerAttr(static_elems, ir_types.i64),
+                                        ir_types.i64)
+                size_ops.append(const)
+                size = const.results[0]
+            elem = fir.element_type_of(op.results[0].type)
+            alloca = llvm.AllocaOp(size, _llvm_type(elem))
+            self._replace(op, size_ops + [alloca])
+        elif name == "fir.allocmem":
+            call = llvm.CallOp("malloc", list(op.operands), [llvm.ptr])
+            self._replace(op, [call])
+        elif name == "fir.freemem":
+            call = llvm.CallOp("free", list(op.operands), [])
+            self._replace(op, [call])
+        elif name == "fir.load":
+            new = llvm.LoadOp(op.operands[0], _llvm_type(op.results[0].type))
+            self._replace(op, [new])
+        elif name == "fir.store":
+            new = llvm.StoreOp(op.operands[0], op.operands[1])
+            self._replace(op, [new])
+        elif name == "fir.coordinate_of":
+            elem = _llvm_type(op.results[0].type)
+            new = llvm.GEPOp(op.operands[0], list(op.operands[1:]), elem)
+            self._replace(op, [new])
+        elif name == "fir.convert":
+            self._convert_fir_convert(op)
+        elif name == "fir.embox":
+            undef = llvm.UndefOp(llvm.LLVMStructType([llvm.ptr, ir_types.i64]))
+            ins = llvm.InsertValueOp(undef.results[0], op.operands[0], [0])
+            self._replace(op, [undef, ins])
+        elif name == "fir.box_addr":
+            new = llvm.ExtractValueOp(op.operands[0], [0], llvm.ptr)
+            self._replace(op, [new])
+        elif name == "fir.box_dims":
+            ops = [llvm.ExtractValueOp(op.operands[0], [1, i], ir_types.i64)
+                   for i in range(3)]
+            self._replace(op, ops, result_map=[o.results[0] for o in ops])
+        elif name in ("fir.shape", "fir.shape_shift"):
+            undef = llvm.UndefOp(llvm.LLVMStructType([ir_types.i64]))
+            self._replace(op, [undef])
+        elif name == "fir.call":
+            new = llvm.CallOp(op.get_attr("callee").root, list(op.operands),
+                              [_llvm_type(r.type) for r in op.results])
+            self._replace(op, [new])
+        elif name in ("fir.undefined", "fir.absent", "fir.zero_bits"):
+            new = llvm.UndefOp(_llvm_type(op.results[0].type))
+            self._replace(op, [new])
+        elif name == "fir.string_lit":
+            new = llvm.ConstantOp(op.attributes["value"], llvm.ptr)
+            self._replace(op, [new])
+        elif name == "fir.address_of":
+            new = llvm.AddressOfOp(op.get_attr("symbol").root, llvm.ptr)
+            self._replace(op, [new])
+        elif name == "fir.global":
+            new = llvm.GlobalOp(op.get_attr("sym_name").value,
+                                _llvm_type(op.get_attr("type").type),
+                                value=op.get_attr("initial_value"))
+            self._replace(op, [new])
+        elif name == "fir.field_index":
+            new = llvm.ConstantOp(IntegerAttr(0, ir_types.i64), ir_types.i64)
+            self._replace(op, [new])
+        elif name == "fir.unreachable":
+            self._replace(op, [llvm.UnreachableOp()])
+        elif name == "cf.br":
+            new = llvm.BrOp(op.successors[0], list(op.operands))
+            self._replace(op, [new])
+        elif name == "cf.cond_br":
+            n_true = op.get_attr("num_true_operands")
+            n = n_true.value if n_true is not None else 0
+            new = llvm.CondBrOp(op.operands[0], op.successors[0], op.successors[1],
+                                list(op.operands[1:1 + n]), list(op.operands[1 + n:]))
+            self._replace(op, [new])
+        elif name == "func.call":
+            new = llvm.CallOp(op.get_attr("callee").root, list(op.operands),
+                              [_llvm_type(r.type) for r in op.results])
+            self._replace(op, [new])
+        elif name == "func.return":
+            new = llvm.ReturnOp(list(op.operands))
+            self._replace(op, [new])
+        else:
+            # retype results of ops that survive (e.g. func.func handled above)
+            for res in op.results:
+                res.type = _llvm_type(res.type)
+
+    def _convert_fir_convert(self, op: Operation) -> None:
+        src_t = op.operands[0].type
+        dst_t = op.results[0].type
+        src = _llvm_type(src_t)
+        dst = _llvm_type(dst_t)
+        value = op.operands[0]
+        if src == dst:
+            self._replace(op, [], result_map=[value])
+            return
+        src_float = isinstance(src, ir_types.FloatType)
+        dst_float = isinstance(dst, ir_types.FloatType)
+        if src_float and dst_float:
+            cls = llvm.FPExtOp if dst.width > src.width else llvm.FPTruncOp
+        elif src_float and not dst_float:
+            cls = llvm.FPToSIOp
+        elif not src_float and dst_float:
+            cls = llvm.SIToFPOp
+        elif isinstance(src, llvm.LLVMPointerType) or isinstance(dst, llvm.LLVMPointerType):
+            cls = llvm.PtrToIntOp if isinstance(src, llvm.LLVMPointerType) else llvm.IntToPtrOp
+        else:
+            sw = src.width if isinstance(src, ir_types.IntegerType) else 64
+            dw = dst.width if isinstance(dst, ir_types.IntegerType) else 64
+            cls = llvm.SExtOp if dw > sw else (llvm.TruncOp if dw < sw else None)
+            if cls is None:
+                self._replace(op, [], result_map=[value])
+                return
+        new = cls(value, dst)
+        self._replace(op, [new])
+
+
+@register_pass
+class FirToLLVMPass(Pass):
+    NAME = "fir-to-llvm"
+
+    def run(self, module: Operation) -> None:
+        _FirToLLVM(module).run()
+
+
+__all__ = ["FirCfgConversionPass", "FirToLLVMPass", "FlangCodegenError"]

@@ -1,0 +1,146 @@
+"""The Flang Fortran runtime library.
+
+Flang does not lower transformational intrinsics (sum, matmul, dot_product,
+transpose, ...) to IR; it emits calls into its runtime library
+(``_FortranASum`` etc.).  Section VI-A of the paper compares that approach
+against lowering to the ``linalg`` dialect.
+
+This module provides:
+
+* the symbol names Flang uses for those runtime entry points,
+* reference Python/NumPy implementations used by the interpreter when it
+  encounters such a call, and
+* the cost characteristics of the library routines (straightforward scalar
+  loops, which is what the measured Flang numbers in Table III reflect).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+import numpy as np
+
+#: Mapping from intrinsic name to the Flang runtime symbol called for it.
+RUNTIME_SYMBOLS = {
+    "sum": "_FortranASumReal8",
+    "product": "_FortranAProduct",
+    "maxval": "_FortranAMaxvalReal8",
+    "minval": "_FortranAMinvalReal8",
+    "count": "_FortranACount",
+    "dot_product": "_FortranADotProductReal8",
+    "matmul": "_FortranAMatmul",
+    "transpose": "_FortranATranspose",
+}
+
+#: Reverse map used by the interpreter / cost model.
+SYMBOL_TO_INTRINSIC = {v: k for k, v in RUNTIME_SYMBOLS.items()}
+
+#: Non-computational runtime entry points emitted by the frontend.
+IO_SYMBOLS = {"_FortranAioOutput", "_FortranAStopStatement"}
+
+
+def is_runtime_symbol(name: str) -> bool:
+    return name in SYMBOL_TO_INTRINSIC or name in IO_SYMBOLS or \
+        name.startswith("_Fortran")
+
+
+# ---------------------------------------------------------------------------
+# Reference implementations (used when the interpreter hits a runtime call)
+# ---------------------------------------------------------------------------
+
+
+def runtime_sum(array: np.ndarray) -> float:
+    return float(np.sum(array))
+
+
+def runtime_product(array: np.ndarray) -> float:
+    return float(np.prod(array))
+
+
+def runtime_maxval(array: np.ndarray) -> float:
+    return float(np.max(array))
+
+
+def runtime_minval(array: np.ndarray) -> float:
+    return float(np.min(array))
+
+
+def runtime_count(array: np.ndarray) -> int:
+    return int(np.count_nonzero(array))
+
+
+def runtime_dot_product(a: np.ndarray, b: np.ndarray) -> float:
+    return float(np.dot(a.ravel(), b.ravel()))
+
+
+def runtime_matmul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    return np.asarray(a) @ np.asarray(b)
+
+
+def runtime_transpose(a: np.ndarray) -> np.ndarray:
+    return np.asarray(a).T.copy()
+
+
+IMPLEMENTATIONS: Dict[str, Callable] = {
+    "sum": runtime_sum,
+    "product": runtime_product,
+    "maxval": runtime_maxval,
+    "minval": runtime_minval,
+    "count": runtime_count,
+    "dot_product": runtime_dot_product,
+    "matmul": runtime_matmul,
+    "transpose": runtime_transpose,
+}
+
+
+def dispatch(symbol: str, args: List):
+    """Execute a Fortran runtime call on interpreter-level values."""
+    if symbol in IO_SYMBOLS:
+        return None
+    intrinsic = SYMBOL_TO_INTRINSIC.get(symbol)
+    if intrinsic is None:
+        # Unknown _Fortran... entry point: treat as a no-op with no result.
+        return None
+    impl = IMPLEMENTATIONS[intrinsic]
+    return impl(*args)
+
+
+# ---------------------------------------------------------------------------
+# Cost characteristics (consumed by repro.machine.cost_model)
+# ---------------------------------------------------------------------------
+
+#: Scalar floating-point operations per element performed by the library
+#: routine (library code is portable scalar code — no vectorisation).
+FLOPS_PER_ELEMENT = {
+    "sum": 1.0,
+    "product": 1.0,
+    "maxval": 1.0,
+    "minval": 1.0,
+    "count": 1.0,
+    "dot_product": 2.0,
+    "matmul": 2.0,          # per inner-loop element (n^3 total)
+    "transpose": 0.0,       # pure data movement
+}
+
+#: Memory operations (loads+stores) per element for the library routine.
+MEMOPS_PER_ELEMENT = {
+    "sum": 1.0,
+    "product": 1.0,
+    "maxval": 1.0,
+    "minval": 1.0,
+    "count": 1.0,
+    "dot_product": 2.0,
+    "matmul": 3.0,
+    "transpose": 2.0,
+}
+
+#: Fixed call overhead (cycles) for entering the runtime, including the
+#: descriptor set-up Flang performs before each call.
+CALL_OVERHEAD_CYCLES = 220.0
+
+
+__all__ = [
+    "RUNTIME_SYMBOLS", "SYMBOL_TO_INTRINSIC", "IO_SYMBOLS", "IMPLEMENTATIONS",
+    "is_runtime_symbol", "dispatch", "FLOPS_PER_ELEMENT", "MEMOPS_PER_ELEMENT",
+    "CALL_OVERHEAD_CYCLES",
+]

@@ -1,0 +1,93 @@
+"""Classification and result typing of Fortran intrinsic procedures."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from . import ftypes
+from .ftypes import FType
+
+#: Elemental numeric intrinsics that map to the MLIR ``math`` dialect.
+ELEMENTAL_MATH = {
+    "sqrt", "exp", "log", "log10", "sin", "cos", "tan", "tanh", "atan",
+    "atan2", "asin", "acos", "sinh", "cosh",
+}
+
+#: Other elemental intrinsics handled inline by the lowering.
+ELEMENTAL_OTHER = {
+    "abs", "mod", "min", "max", "sign", "nint", "int", "real", "dble",
+    "float", "aint", "anint", "ceiling", "floor", "merge", "epsilon", "huge",
+    "tiny",
+}
+
+#: Transformational (whole-array) intrinsics that HLFIR keeps as operations.
+TRANSFORMATIONAL = {
+    "sum", "product", "maxval", "minval", "count", "matmul", "dot_product",
+    "transpose",
+}
+
+#: Array inquiry intrinsics.
+INQUIRY = {"size", "lbound", "ubound", "allocated", "shape"}
+
+ALL_INTRINSICS = ELEMENTAL_MATH | ELEMENTAL_OTHER | TRANSFORMATIONAL | INQUIRY
+
+
+def is_intrinsic(name: str) -> bool:
+    return name.lower() in ALL_INTRINSICS
+
+
+def result_type(name: str, arg_types: List[FType]) -> FType:
+    """Result type of an intrinsic call given the argument types."""
+    name = name.lower()
+    first = arg_types[0] if arg_types else ftypes.REAL
+
+    if name in ("int", "nint", "ceiling", "floor"):
+        return ftypes.INTEGER
+    if name in ("real", "float"):
+        return ftypes.REAL if first.kind != 8 else ftypes.REAL
+    if name == "dble":
+        return ftypes.DOUBLE
+    if name in ("epsilon", "huge", "tiny"):
+        return first.scalar()
+    if name in ("size", "lbound", "ubound", "count"):
+        return ftypes.INTEGER
+    if name == "allocated":
+        return ftypes.LOGICAL
+    if name == "shape":
+        return FType(base="integer", kind=4,
+                     dims=(ftypes.ArrayDim(1, first.rank or 1),))
+
+    if name in ("sum", "product", "maxval", "minval", "dot_product"):
+        return first.scalar()
+    if name == "matmul":
+        a, b = arg_types[0], arg_types[1]
+        elem = ftypes.combine_numeric(a.scalar(), b.scalar())
+        rows = a.dims[0] if a.rank >= 1 else ftypes.ArrayDim(1, None)
+        cols = b.dims[1] if b.rank >= 2 else ftypes.ArrayDim(1, None)
+        return elem.with_dims((rows, cols))
+    if name == "transpose":
+        a = arg_types[0]
+        dims = tuple(reversed(a.dims)) if a.rank == 2 else a.dims
+        return a.scalar().with_dims(dims)
+
+    if name in ELEMENTAL_MATH or name in ("abs", "sign", "aint", "anint", "merge"):
+        # elemental: result type follows the (promoted) argument
+        if first.base == "integer" and name == "abs":
+            return first.scalar() if not first.is_array else first
+        promoted = first if first.base == "real" else ftypes.REAL
+        return promoted if not first.is_array else first
+    if name in ("mod",):
+        return ftypes.combine_numeric(first.scalar(), arg_types[1].scalar()) \
+            if len(arg_types) > 1 else first.scalar()
+    if name in ("min", "max"):
+        out = first.scalar()
+        for t in arg_types[1:]:
+            out = ftypes.combine_numeric(out, t.scalar())
+        return out
+    return first
+
+
+__all__ = [
+    "ELEMENTAL_MATH", "ELEMENTAL_OTHER", "TRANSFORMATIONAL", "INQUIRY",
+    "ALL_INTRINSICS", "is_intrinsic", "result_type",
+]

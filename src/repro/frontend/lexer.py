@@ -1,0 +1,240 @@
+"""Free-form Fortran lexer.
+
+Handles the Fortran 90 free-form subset the reproduction needs: keywords and
+identifiers (case-insensitive), integer/real literals (including ``d``
+exponents and kind suffixes), operators (including ``**``, ``//``, relational
+and logical dot-operators), strings, comments, ``&`` line continuations,
+statement labels and ``!$omp`` / ``!$acc`` directives (which are preserved as
+special tokens rather than discarded as comments).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
+
+from .ast_nodes import SourceLocation
+
+
+class LexError(Exception):
+    pass
+
+
+@dataclass
+class Token:
+    kind: str       # NAME, INT, REAL, STRING, OP, NEWLINE, DIRECTIVE, LABEL, EOF
+    value: str
+    line: int
+    column: int = 0
+
+    @property
+    def loc(self) -> SourceLocation:
+        return SourceLocation(self.line, self.column)
+
+    def __repr__(self):  # pragma: no cover - debugging aid
+        return f"Token({self.kind}, {self.value!r}, line={self.line})"
+
+
+KEYWORDS = {
+    "program", "end", "subroutine", "function", "module", "contains", "use",
+    "implicit", "none", "integer", "real", "logical", "character", "complex",
+    "double", "precision", "type", "dimension", "allocatable", "parameter",
+    "intent", "in", "out", "inout", "pointer", "target", "optional", "save",
+    "if", "then", "else", "elseif", "endif", "do", "while", "enddo", "exit",
+    "cycle", "goto", "continue", "call", "return", "stop", "allocate",
+    "deallocate", "print", "write", "read", "result", "kind", "len",
+    "only", "public", "private", "external", "intrinsic", "data", "where",
+    "select", "case", "nullify",
+}
+
+#: multi-character operators, longest first
+_OPERATORS = [
+    "**", "//", "==", "/=", "<=", ">=", "=>", "::", "%", "(", ")", ",", "=",
+    "+", "-", "*", "/", "<", ">", ":", ";",
+]
+
+_DOT_OP_RE = re.compile(r"\.(and|or|not|eqv|neqv|true|false|eq|ne|lt|le|gt|ge)\.", re.I)
+_NAME_RE = re.compile(r"[a-z_][a-z0-9_]*", re.I)
+_REAL_RE = re.compile(
+    r"(\d+\.\d*([edq][+-]?\d+)?|\.\d+([edq][+-]?\d+)?|\d+[edq][+-]?\d+)(_\w+)?", re.I)
+_INT_RE = re.compile(r"\d+(_\w+)?")
+
+
+def _join_continuations(source: str) -> List[tuple]:
+    """Join lines ending in ``&`` (and strip leading ``&`` of continuations).
+
+    Returns a list of (line_number, text) pairs where line_number refers to
+    the first physical line of the logical line.
+    """
+    logical: List[tuple] = []
+    pending: Optional[str] = None
+    pending_line = 0
+    for lineno, raw in enumerate(source.splitlines(), start=1):
+        line = raw.rstrip()
+        stripped = line.strip()
+        is_directive = stripped.lower().startswith(("!$omp", "!$acc"))
+        if not is_directive:
+            # strip trailing comments (respecting strings)
+            out = []
+            in_str: Optional[str] = None
+            for ch in line:
+                if in_str:
+                    out.append(ch)
+                    if ch == in_str:
+                        in_str = None
+                elif ch in "'\"":
+                    in_str = ch
+                    out.append(ch)
+                elif ch == "!":
+                    break
+                else:
+                    out.append(ch)
+            line = "".join(out).rstrip()
+        if pending is not None:
+            line = pending + " " + line.lstrip().lstrip("&").lstrip()
+            lineno_use = pending_line
+            pending = None
+        else:
+            lineno_use = lineno
+        if line.rstrip().endswith("&"):
+            pending = line.rstrip()[:-1]
+            pending_line = lineno_use
+            continue
+        if line.strip():
+            logical.append((lineno_use, line))
+    if pending is not None and pending.strip():
+        logical.append((pending_line, pending))
+    return logical
+
+
+def tokenize(source: str) -> List[Token]:
+    """Tokenise free-form Fortran source into a flat token list.
+
+    Statements are separated by NEWLINE tokens (``;`` separators also produce
+    NEWLINE).  Directives occupy their own logical line and produce a single
+    DIRECTIVE token whose value is the directive text without the sentinel.
+    """
+    tokens: List[Token] = []
+    for lineno, line in _join_continuations(source):
+        stripped = line.strip()
+        low = stripped.lower()
+        if low.startswith("!$omp") or low.startswith("!$acc"):
+            sentinel = "omp" if low.startswith("!$omp") else "acc"
+            body = stripped[5:].strip()
+            tokens.append(Token("DIRECTIVE", f"{sentinel} {body}".strip(), lineno))
+            tokens.append(Token("NEWLINE", "\n", lineno))
+            continue
+        if not stripped or stripped.startswith("!"):
+            continue
+        tokens.extend(_tokenize_line(stripped, lineno))
+        tokens.append(Token("NEWLINE", "\n", lineno))
+    tokens.append(Token("EOF", "", tokens[-1].line if tokens else 1))
+    return tokens
+
+
+def _tokenize_line(text: str, lineno: int) -> List[Token]:
+    tokens: List[Token] = []
+    pos = 0
+    n = len(text)
+    # statement label: leading integer followed by whitespace then more text
+    m = re.match(r"^(\d+)\s+\S", text)
+    if m:
+        tokens.append(Token("LABEL", m.group(1), lineno, 0))
+        pos = m.end(1)
+    while pos < n:
+        ch = text[pos]
+        if ch in " \t":
+            pos += 1
+            continue
+        if ch == ";":
+            tokens.append(Token("NEWLINE", "\n", lineno, pos))
+            pos += 1
+            continue
+        if ch in "'\"":
+            end = pos + 1
+            while end < n and text[end] != ch:
+                end += 1
+            if end >= n:
+                raise LexError(f"unterminated string at line {lineno}")
+            tokens.append(Token("STRING", text[pos + 1:end], lineno, pos))
+            pos = end + 1
+            continue
+        m = _DOT_OP_RE.match(text, pos)
+        if m:
+            tokens.append(Token("OP", "." + m.group(1).lower() + ".", lineno, pos))
+            pos = m.end()
+            continue
+        m = _REAL_RE.match(text, pos)
+        if m:
+            tokens.append(Token("REAL", m.group(0), lineno, pos))
+            pos = m.end()
+            continue
+        m = _INT_RE.match(text, pos)
+        if m:
+            tokens.append(Token("INT", m.group(0), lineno, pos))
+            pos = m.end()
+            continue
+        m = _NAME_RE.match(text, pos)
+        if m:
+            tokens.append(Token("NAME", m.group(0).lower(), lineno, pos))
+            pos = m.end()
+            continue
+        for op in _OPERATORS:
+            if text.startswith(op, pos):
+                tokens.append(Token("OP", op, lineno, pos))
+                pos += len(op)
+                break
+        else:
+            raise LexError(f"unexpected character {ch!r} at line {lineno}: {text!r}")
+    return tokens
+
+
+class TokenStream:
+    """Cursor over a token list with the lookahead helpers the parser needs."""
+
+    def __init__(self, tokens: List[Token]):
+        self.tokens = tokens
+        self.pos = 0
+
+    def peek(self, offset: int = 0) -> Token:
+        idx = min(self.pos + offset, len(self.tokens) - 1)
+        return self.tokens[idx]
+
+    def next(self) -> Token:
+        tok = self.peek()
+        if tok.kind != "EOF":
+            self.pos += 1
+        return tok
+
+    def at(self, kind: str, value: Optional[str] = None, offset: int = 0) -> bool:
+        tok = self.peek(offset)
+        if tok.kind != kind:
+            return False
+        return value is None or tok.value == value
+
+    def at_name(self, value: str, offset: int = 0) -> bool:
+        return self.at("NAME", value, offset)
+
+    def accept(self, kind: str, value: Optional[str] = None) -> Optional[Token]:
+        if self.at(kind, value):
+            return self.next()
+        return None
+
+    def expect(self, kind: str, value: Optional[str] = None) -> Token:
+        tok = self.peek()
+        if not self.at(kind, value):
+            expected = value or kind
+            raise LexError(
+                f"line {tok.line}: expected {expected!r}, found {tok.kind} {tok.value!r}")
+        return self.next()
+
+    def skip_newlines(self) -> None:
+        while self.at("NEWLINE"):
+            self.next()
+
+    def at_end(self) -> bool:
+        return self.at("EOF")
+
+
+__all__ = ["Token", "TokenStream", "tokenize", "LexError", "KEYWORDS"]

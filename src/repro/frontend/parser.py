@@ -1,0 +1,781 @@
+"""Recursive-descent parser for the Fortran 90 subset.
+
+The parser mirrors the statement-level structure Flang's own parser produces:
+program units (programs, modules, subroutines, functions), declarations,
+structured control flow (if/do/do while), unstructured control flow (goto,
+labelled continue), allocate/deallocate, calls, I/O statements (treated as
+runtime calls) and OpenMP/OpenACC directives.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from . import ast_nodes as ast
+from .lexer import LexError, Token, TokenStream, tokenize
+
+
+class ParseError(Exception):
+    pass
+
+
+# keywords that begin a new statement and therefore terminate a statement list
+_BLOCK_ENDERS = {"end", "else", "elseif", "endif", "enddo", "contains", "case"}
+
+
+class Parser:
+    def __init__(self, source: str):
+        self.ts = TokenStream(tokenize(source))
+
+    # ------------------------------------------------------------------ units
+    def parse(self) -> ast.CompilationUnit:
+        unit = ast.CompilationUnit()
+        self.ts.skip_newlines()
+        while not self.ts.at_end():
+            if self.ts.at_name("module") and not self.ts.at_name("procedure", 1):
+                unit.modules.append(self.parse_module())
+            elif self.ts.at_name("program"):
+                unit.subprograms.append(self.parse_subprogram("program"))
+            elif self.ts.at_name("subroutine"):
+                unit.subprograms.append(self.parse_subprogram("subroutine"))
+            elif self._at_function_start():
+                unit.subprograms.append(self.parse_subprogram("function"))
+            else:
+                tok = self.ts.peek()
+                raise ParseError(f"line {tok.line}: unexpected top-level token {tok.value!r}")
+            self.ts.skip_newlines()
+        return unit
+
+    def _at_function_start(self) -> bool:
+        """function | <typespec> function ..."""
+        if self.ts.at_name("function"):
+            return True
+        for offset in range(6):
+            if self.ts.at_name("function", offset):
+                return True
+            tok = self.ts.peek(offset)
+            if tok.kind == "NEWLINE" or tok.kind == "EOF":
+                return False
+        return False
+
+    def parse_module(self) -> ast.ModuleUnit:
+        loc = self.ts.peek().loc
+        self.ts.expect("NAME", "module")
+        name = self.ts.expect("NAME").value
+        self.ts.skip_newlines()
+        module = ast.ModuleUnit(name=name, loc=loc)
+        # module specification part
+        while True:
+            self.ts.skip_newlines()
+            if self.ts.at_name("contains"):
+                self.ts.next()
+                self.ts.skip_newlines()
+                while not self.ts.at_name("end"):
+                    module.subprograms.append(self.parse_any_subprogram())
+                    self.ts.skip_newlines()
+                break
+            if self.ts.at_name("end"):
+                break
+            if self.ts.at_name("type") and not self.ts.at("OP", "(", 1):
+                module.derived_types.append(self.parse_derived_type())
+            elif self._at_declaration():
+                module.declarations.append(self.parse_declaration())
+            else:
+                # skip use/implicit/public/private etc.
+                self._skip_statement()
+        self._consume_end("module", name)
+        return module
+
+    def parse_any_subprogram(self) -> ast.Subprogram:
+        if self.ts.at_name("subroutine"):
+            return self.parse_subprogram("subroutine")
+        if self._at_function_start():
+            return self.parse_subprogram("function")
+        if self.ts.at_name("program"):
+            return self.parse_subprogram("program")
+        tok = self.ts.peek()
+        raise ParseError(f"line {tok.line}: expected a subprogram, found {tok.value!r}")
+
+    def parse_subprogram(self, kind: str) -> ast.Subprogram:
+        loc = self.ts.peek().loc
+        result_type: Optional[ast.TypeSpec] = None
+        if kind == "function" and not self.ts.at_name("function"):
+            result_type = self.parse_type_spec()
+        self.ts.expect("NAME", kind if kind != "program" else "program") \
+            if kind != "function" else self.ts.expect("NAME", "function")
+        name = self.ts.expect("NAME").value
+        args: List[str] = []
+        result_name: Optional[str] = None
+        if self.ts.accept("OP", "("):
+            while not self.ts.at("OP", ")"):
+                args.append(self.ts.expect("NAME").value)
+                if not self.ts.accept("OP", ","):
+                    break
+            self.ts.expect("OP", ")")
+        if kind == "function" and self.ts.at_name("result"):
+            self.ts.next()
+            self.ts.expect("OP", "(")
+            result_name = self.ts.expect("NAME").value
+            self.ts.expect("OP", ")")
+        self.ts.skip_newlines()
+        sp = ast.Subprogram(kind=kind, name=name, args=args,
+                            result_name=result_name or (name if kind == "function" else None),
+                            result_type=result_type, loc=loc)
+        # specification part
+        while True:
+            self.ts.skip_newlines()
+            if self.ts.at_name("use") or self.ts.at_name("implicit") or \
+               self.ts.at_name("external") or self.ts.at_name("intrinsic") or \
+               self.ts.at_name("save") and self.ts.at("NEWLINE", offset=1):
+                self._skip_statement()
+                continue
+            if self.ts.at_name("type") and not self.ts.at("OP", "(", 1):
+                sp.derived_types.append(self.parse_derived_type())
+                continue
+            if self._at_declaration():
+                sp.declarations.append(self.parse_declaration())
+                continue
+            break
+        # execution part
+        sp.body = self.parse_statements()
+        # contains part
+        if self.ts.at_name("contains"):
+            self.ts.next()
+            self.ts.skip_newlines()
+            while not self.ts.at_name("end"):
+                sp.contains.append(self.parse_any_subprogram())
+                self.ts.skip_newlines()
+        self._consume_end(kind, name)
+        return sp
+
+    def _consume_end(self, kind: str, name: str) -> None:
+        self.ts.skip_newlines()
+        self.ts.expect("NAME", "end")
+        self.ts.accept("NAME", kind)
+        self.ts.accept("NAME", name)
+        self.ts.accept("NEWLINE")
+
+    # ----------------------------------------------------------- declarations
+    _TYPE_NAMES = {"integer", "real", "logical", "character", "complex",
+                   "double", "type"}
+
+    def _at_declaration(self) -> bool:
+        if not self.ts.at("NAME"):
+            return False
+        name = self.ts.peek().value
+        if name not in self._TYPE_NAMES:
+            return False
+        if name == "type":
+            # "type(name)" is a declaration; "type name" / "type :: name" is a defn
+            return self.ts.at("OP", "(", 1)
+        # avoid matching assignments to variables named like types (unlikely)
+        return True
+
+    def parse_type_spec(self) -> ast.TypeSpec:
+        tok = self.ts.expect("NAME")
+        name = tok.value
+        kind = 0
+        derived = None
+        char_length = None
+        if name == "double":
+            self.ts.expect("NAME", "precision")
+            return ast.TypeSpec(name="real", kind=8)
+        if name == "type":
+            self.ts.expect("OP", "(")
+            derived = self.ts.expect("NAME").value
+            self.ts.expect("OP", ")")
+            return ast.TypeSpec(name="type", derived_name=derived)
+        if self.ts.accept("OP", "("):
+            # kind selector: (8) or (kind=8) or (len=...) for character
+            while not self.ts.at("OP", ")"):
+                if self.ts.at_name("kind") and self.ts.at("OP", "=", 1):
+                    self.ts.next()
+                    self.ts.next()
+                    kind = int(self.ts.expect("INT").value)
+                elif self.ts.at_name("len") and self.ts.at("OP", "=", 1):
+                    self.ts.next()
+                    self.ts.next()
+                    if self.ts.at("INT"):
+                        char_length = int(self.ts.next().value)
+                    else:
+                        self.ts.next()  # len=* or a name
+                elif self.ts.at("INT"):
+                    kind = int(self.ts.next().value)
+                elif self.ts.at("OP", "*"):
+                    self.ts.next()
+                else:
+                    self.ts.next()
+                self.ts.accept("OP", ",")
+            self.ts.expect("OP", ")")
+        elif self.ts.accept("OP", "*"):
+            # old-style kind: real*8, integer*4
+            kind = int(self.ts.expect("INT").value)
+        return ast.TypeSpec(name=name, kind=kind, char_length=char_length)
+
+    def parse_declaration(self) -> ast.Declaration:
+        loc = self.ts.peek().loc
+        type_spec = self.parse_type_spec()
+        attributes: List[str] = []
+        intent: Optional[str] = None
+        default_dims: List[ast.DimSpec] = []
+        while self.ts.accept("OP", ","):
+            attr_tok = self.ts.expect("NAME")
+            attr = attr_tok.value
+            if attr == "dimension":
+                self.ts.expect("OP", "(")
+                default_dims = self.parse_dim_list()
+                self.ts.expect("OP", ")")
+                attributes.append("dimension")
+            elif attr == "intent":
+                self.ts.expect("OP", "(")
+                parts = []
+                while not self.ts.at("OP", ")"):
+                    parts.append(self.ts.next().value)
+                self.ts.expect("OP", ")")
+                intent = "".join(parts)
+            else:
+                attributes.append(attr)
+        self.ts.accept("OP", "::")
+        entities: List[ast.EntityDecl] = []
+        while True:
+            name = self.ts.expect("NAME").value
+            dims: List[ast.DimSpec] = []
+            init: Optional[ast.Expr] = None
+            if self.ts.accept("OP", "("):
+                dims = self.parse_dim_list()
+                self.ts.expect("OP", ")")
+            if self.ts.accept("OP", "="):
+                init = self.parse_expr()
+            entities.append(ast.EntityDecl(name=name, dims=dims, init=init))
+            if not self.ts.accept("OP", ","):
+                break
+        self.ts.accept("NEWLINE")
+        return ast.Declaration(type_spec=type_spec, entities=entities,
+                               attributes=attributes, intent=intent,
+                               default_dims=default_dims, loc=loc)
+
+    def parse_dim_list(self) -> List[ast.DimSpec]:
+        dims: List[ast.DimSpec] = []
+        while not self.ts.at("OP", ")"):
+            dims.append(self.parse_dim_spec())
+            if not self.ts.accept("OP", ","):
+                break
+        return dims
+
+    def parse_dim_spec(self) -> ast.DimSpec:
+        # ":"              -> deferred/assumed shape
+        # "expr"           -> upper bound (lower defaults to 1)
+        # "expr : expr"    -> explicit bounds
+        # "expr :"         -> assumed size / lower only
+        if self.ts.at("OP", ":"):
+            self.ts.next()
+            return ast.DimSpec(deferred=True)
+        if self.ts.at("OP", "*"):
+            self.ts.next()
+            return ast.DimSpec(assumed=True)
+        first = self.parse_expr()
+        if self.ts.accept("OP", ":"):
+            if self.ts.at("OP", ",") or self.ts.at("OP", ")"):
+                return ast.DimSpec(lower=first, assumed=True)
+            second = self.parse_expr()
+            return ast.DimSpec(lower=first, upper=second)
+        return ast.DimSpec(upper=first)
+
+    def parse_derived_type(self) -> ast.DerivedTypeDef:
+        loc = self.ts.peek().loc
+        self.ts.expect("NAME", "type")
+        self.ts.accept("OP", "::")
+        name = self.ts.expect("NAME").value
+        self.ts.skip_newlines()
+        components: List[ast.Declaration] = []
+        while not self.ts.at_name("end"):
+            if self._at_declaration():
+                components.append(self.parse_declaration())
+            else:
+                self._skip_statement()
+            self.ts.skip_newlines()
+        self.ts.expect("NAME", "end")
+        self.ts.accept("NAME", "type")
+        self.ts.accept("NAME", name)
+        self.ts.accept("NEWLINE")
+        return ast.DerivedTypeDef(name=name, components=components, loc=loc)
+
+    # ------------------------------------------------------------- statements
+    def parse_statements(self, terminators: Tuple[str, ...] = ()) -> List[ast.Stmt]:
+        stmts: List[ast.Stmt] = []
+        pending_directives: List[Tuple[str, str]] = []
+        while True:
+            self.ts.skip_newlines()
+            if self.ts.at_end():
+                break
+            if self.ts.at("DIRECTIVE"):
+                text = self.ts.peek().value.lower()
+                rest = text.split(" ", 1)[1] if " " in text else ""
+                if rest.startswith("end"):
+                    # loop-directive terminators are consumed and ignored;
+                    # region terminators are left for the enclosing handler.
+                    if any(k in rest for k in ("parallel do", "end do", "end loop")):
+                        self.ts.next()
+                        self.ts.accept("NEWLINE")
+                        continue
+                    break
+                directive = self.ts.next().value
+                self.ts.accept("NEWLINE")
+                handled = self._handle_directive(directive, stmts, pending_directives)
+                if handled is not None:
+                    stmts.append(handled)
+                continue
+            tok = self.ts.peek()
+            if tok.kind == "NAME" and tok.value in _BLOCK_ENDERS:
+                break
+            if tok.kind == "NAME" and tok.value == "contains":
+                break
+            stmt = self.parse_statement()
+            if stmt is None:
+                continue
+            if pending_directives and isinstance(stmt, ast.DoLoop):
+                stmt.directives = [f"{s} {c}".strip() for s, c in pending_directives]
+                pending_directives.clear()
+            stmts.append(stmt)
+        return stmts
+
+    def _handle_directive(self, directive: str, stmts, pending) -> Optional[ast.Stmt]:
+        """Dispatch a !$omp / !$acc directive.
+
+        Loop directives are recorded and attached to the next do loop; region
+        directives (acc kernels / acc data / omp parallel without do) consume
+        statements until the matching end directive and produce a
+        DirectiveRegion node.
+        """
+        text = directive.lower()
+        sentinel, _, rest = text.partition(" ")
+        rest = rest.strip()
+        if rest.startswith("end"):
+            return None  # end markers are consumed by the region parser below
+        loop_directives = ("parallel do", "do", "loop", "parallel loop")
+        if sentinel == "omp" and any(rest.startswith(d) for d in ("parallel do", "do ", "do")):
+            pending.append((f"omp {rest.split()[0]} do" if rest.startswith("parallel") else "omp do",
+                            rest.partition("do")[2].strip()))
+            return None
+        if sentinel == "acc" and rest.startswith("loop"):
+            pending.append(("acc loop", rest[4:].strip()))
+            return None
+        # region directives
+        region_kind = rest.split("(")[0].split()[0] if rest else ""
+        body = self.parse_statements()
+        # consume the matching end directive
+        self.ts.skip_newlines()
+        if self.ts.at("DIRECTIVE"):
+            end_text = self.ts.peek().value.lower()
+            if end_text.startswith(f"{sentinel} end"):
+                self.ts.next()
+                self.ts.accept("NEWLINE")
+        return ast.DirectiveRegion(directive=f"{sentinel} {region_kind}",
+                                   clauses=rest[len(region_kind):].strip(),
+                                   body=body)
+
+    def parse_statement(self) -> Optional[ast.Stmt]:
+        label: Optional[int] = None
+        if self.ts.at("LABEL"):
+            label = int(self.ts.next().value)
+        tok = self.ts.peek()
+        loc = tok.loc
+        stmt: Optional[ast.Stmt]
+        if tok.kind != "NAME":
+            self._skip_statement()
+            return None
+        kw = tok.value
+        if kw == "if":
+            stmt = self.parse_if()
+        elif kw == "do":
+            stmt = self.parse_do()
+        elif kw == "call":
+            stmt = self.parse_call()
+        elif kw == "allocate":
+            stmt = self.parse_allocate()
+        elif kw == "deallocate":
+            stmt = self.parse_deallocate()
+        elif kw == "exit":
+            self.ts.next()
+            self.ts.accept("NAME")
+            stmt = ast.ExitStmt()
+        elif kw == "cycle":
+            self.ts.next()
+            self.ts.accept("NAME")
+            stmt = ast.CycleStmt()
+        elif kw == "goto":
+            self.ts.next()
+            stmt = ast.GotoStmt(target_label=int(self.ts.expect("INT").value))
+        elif kw == "go" and self.ts.at_name("to", 1):
+            self.ts.next()
+            self.ts.next()
+            stmt = ast.GotoStmt(target_label=int(self.ts.expect("INT").value))
+        elif kw == "continue":
+            self.ts.next()
+            stmt = ast.ContinueStmt()
+        elif kw == "return":
+            self.ts.next()
+            stmt = ast.ReturnStmt()
+        elif kw == "stop":
+            self.ts.next()
+            code = None
+            if not self.ts.at("NEWLINE"):
+                code = self.parse_expr()
+            stmt = ast.StopStmt(code=code)
+        elif kw in ("print", "write", "read"):
+            stmt = self.parse_io(kw)
+        elif kw == "where":
+            # treat single-line where(mask) assignment as a guarded assignment
+            stmt = self.parse_where()
+        elif kw == "nullify":
+            self._skip_statement()
+            return None
+        else:
+            stmt = self.parse_assignment_or_call()
+        if stmt is not None:
+            stmt.loc = loc
+            stmt.label = label
+        self.ts.accept("NEWLINE")
+        return stmt
+
+    def parse_if(self) -> ast.Stmt:
+        self.ts.expect("NAME", "if")
+        self.ts.expect("OP", "(")
+        condition = self.parse_expr()
+        self.ts.expect("OP", ")")
+        if self.ts.at_name("then"):
+            self.ts.next()
+            self.ts.accept("NEWLINE")
+            node = ast.IfBlock(conditions=[condition], bodies=[self.parse_statements()])
+            while True:
+                self.ts.skip_newlines()
+                if self.ts.at_name("elseif") or (self.ts.at_name("else") and self.ts.at_name("if", 1)):
+                    if self.ts.at_name("elseif"):
+                        self.ts.next()
+                    else:
+                        self.ts.next()
+                        self.ts.next()
+                    self.ts.expect("OP", "(")
+                    cond = self.parse_expr()
+                    self.ts.expect("OP", ")")
+                    self.ts.accept("NAME", "then")
+                    self.ts.accept("NEWLINE")
+                    node.conditions.append(cond)
+                    node.bodies.append(self.parse_statements())
+                elif self.ts.at_name("else"):
+                    self.ts.next()
+                    self.ts.accept("NEWLINE")
+                    node.else_body = self.parse_statements()
+                else:
+                    break
+            self.ts.skip_newlines()
+            if self.ts.at_name("endif"):
+                self.ts.next()
+            else:
+                self.ts.expect("NAME", "end")
+                self.ts.accept("NAME", "if")
+            return node
+        # single statement if
+        inner = self.parse_statement()
+        return ast.IfBlock(conditions=[condition],
+                           bodies=[[inner] if inner is not None else []])
+
+    def parse_do(self) -> ast.Stmt:
+        self.ts.expect("NAME", "do")
+        if self.ts.at_name("while"):
+            self.ts.next()
+            self.ts.expect("OP", "(")
+            condition = self.parse_expr()
+            self.ts.expect("OP", ")")
+            self.ts.accept("NEWLINE")
+            body = self.parse_statements()
+            self._consume_end_do()
+            return ast.DoWhile(condition=condition, body=body)
+        # counted do:  do [label] var = start, end [, step]
+        end_label: Optional[int] = None
+        if self.ts.at("INT"):
+            end_label = int(self.ts.next().value)
+        var = self.ts.expect("NAME").value
+        self.ts.expect("OP", "=")
+        start = self.parse_expr()
+        self.ts.expect("OP", ",")
+        end = self.parse_expr()
+        step = None
+        if self.ts.accept("OP", ","):
+            step = self.parse_expr()
+        self.ts.accept("NEWLINE")
+        body = self.parse_statements()
+        if end_label is not None:
+            # labelled do terminates at "<label> continue"
+            self.ts.skip_newlines()
+            if body and isinstance(body[-1], ast.ContinueStmt):
+                pass
+        self._consume_end_do(optional=end_label is not None)
+        return ast.DoLoop(var=var, start=start, end=end, step=step, body=body)
+
+    def _consume_end_do(self, optional: bool = False) -> None:
+        self.ts.skip_newlines()
+        if self.ts.at_name("enddo"):
+            self.ts.next()
+            return
+        if self.ts.at_name("end") and self.ts.at_name("do", 1):
+            self.ts.next()
+            self.ts.next()
+            return
+        if not optional:
+            tok = self.ts.peek()
+            raise ParseError(f"line {tok.line}: expected 'end do', found {tok.value!r}")
+
+    def parse_call(self) -> ast.Stmt:
+        self.ts.expect("NAME", "call")
+        name = self.ts.expect("NAME").value
+        args: List[ast.Expr] = []
+        if self.ts.accept("OP", "("):
+            while not self.ts.at("OP", ")"):
+                args.append(self.parse_expr())
+                if not self.ts.accept("OP", ","):
+                    break
+            self.ts.expect("OP", ")")
+        return ast.CallStmt(name=name, args=args)
+
+    def parse_allocate(self) -> ast.Stmt:
+        self.ts.expect("NAME", "allocate")
+        self.ts.expect("OP", "(")
+        allocations: List[Tuple[str, List[ast.Expr]]] = []
+        while not self.ts.at("OP", ")"):
+            if self.ts.at_name("stat") and self.ts.at("OP", "=", 1):
+                self.ts.next(); self.ts.next(); self.parse_expr()
+            else:
+                name = self.ts.expect("NAME").value
+                dims: List[ast.Expr] = []
+                if self.ts.accept("OP", "("):
+                    while not self.ts.at("OP", ")"):
+                        dims.append(self.parse_expr())
+                        if not self.ts.accept("OP", ","):
+                            break
+                    self.ts.expect("OP", ")")
+                allocations.append((name, dims))
+            if not self.ts.accept("OP", ","):
+                break
+        self.ts.expect("OP", ")")
+        return ast.AllocateStmt(allocations=allocations)
+
+    def parse_deallocate(self) -> ast.Stmt:
+        self.ts.expect("NAME", "deallocate")
+        self.ts.expect("OP", "(")
+        names: List[str] = []
+        while not self.ts.at("OP", ")"):
+            if self.ts.at_name("stat") and self.ts.at("OP", "=", 1):
+                self.ts.next(); self.ts.next(); self.parse_expr()
+            else:
+                names.append(self.ts.expect("NAME").value)
+            if not self.ts.accept("OP", ","):
+                break
+        self.ts.expect("OP", ")")
+        return ast.DeallocateStmt(names=names)
+
+    def parse_io(self, kw: str) -> ast.Stmt:
+        self.ts.next()
+        if kw == "print":
+            self.ts.accept("OP", "*")
+            self.ts.accept("STRING")
+            self.ts.accept("OP", ",")
+        else:
+            # write(...) / read(...) control list
+            if self.ts.accept("OP", "("):
+                depth = 1
+                while depth:
+                    tok = self.ts.next()
+                    if tok.kind == "OP" and tok.value == "(":
+                        depth += 1
+                    elif tok.kind == "OP" and tok.value == ")":
+                        depth -= 1
+        items: List[ast.Expr] = []
+        while not self.ts.at("NEWLINE") and not self.ts.at_end():
+            items.append(self.parse_expr())
+            if not self.ts.accept("OP", ","):
+                break
+        return ast.PrintStmt(items=items)
+
+    def parse_where(self) -> ast.Stmt:
+        """Single-statement WHERE: ``where (mask) a = b`` lowered as a guarded
+        assignment (block WHERE constructs are outside the supported subset)."""
+        self.ts.expect("NAME", "where")
+        self.ts.expect("OP", "(")
+        mask = self.parse_expr()
+        self.ts.expect("OP", ")")
+        assign = self.parse_assignment_or_call()
+        return ast.IfBlock(conditions=[mask], bodies=[[assign]])
+
+    def parse_assignment_or_call(self) -> ast.Stmt:
+        target = self.parse_primary(allow_call=True)
+        if self.ts.accept("OP", "=>"):
+            value = self.parse_expr()
+            return ast.PointerAssignment(target=target, value=value)
+        if self.ts.accept("OP", "="):
+            value = self.parse_expr()
+            return ast.Assignment(target=target, value=value)
+        # a bare procedure reference without CALL is not standard; treat a
+        # lone primary as a no-op call statement
+        if isinstance(target, ast.CallOrIndex):
+            return ast.CallStmt(name=target.name, args=target.args)
+        tok = self.ts.peek()
+        raise ParseError(f"line {tok.line}: expected '=' in statement")
+
+    def _skip_statement(self) -> None:
+        while not self.ts.at("NEWLINE") and not self.ts.at_end():
+            self.ts.next()
+        self.ts.accept("NEWLINE")
+
+    # ------------------------------------------------------------- expressions
+    def parse_expr(self) -> ast.Expr:
+        return self.parse_or()
+
+    def parse_or(self) -> ast.Expr:
+        lhs = self.parse_and()
+        while self.ts.at("OP", ".or.") or self.ts.at("OP", ".eqv.") or self.ts.at("OP", ".neqv."):
+            op = self.ts.next().value
+            rhs = self.parse_and()
+            lhs = ast.BinaryOp(op=op, lhs=lhs, rhs=rhs)
+        return lhs
+
+    def parse_and(self) -> ast.Expr:
+        lhs = self.parse_not()
+        while self.ts.at("OP", ".and."):
+            self.ts.next()
+            rhs = self.parse_not()
+            lhs = ast.BinaryOp(op=".and.", lhs=lhs, rhs=rhs)
+        return lhs
+
+    def parse_not(self) -> ast.Expr:
+        if self.ts.at("OP", ".not."):
+            self.ts.next()
+            return ast.UnaryOp(op=".not.", operand=self.parse_not())
+        return self.parse_comparison()
+
+    _REL_OPS = {"==": "==", "/=": "/=", "<": "<", "<=": "<=", ">": ">", ">=": ">=",
+                ".eq.": "==", ".ne.": "/=", ".lt.": "<", ".le.": "<=",
+                ".gt.": ">", ".ge.": ">="}
+
+    def parse_comparison(self) -> ast.Expr:
+        lhs = self.parse_additive()
+        while self.ts.at("OP") and self.ts.peek().value in self._REL_OPS:
+            op = self._REL_OPS[self.ts.next().value]
+            rhs = self.parse_additive()
+            lhs = ast.BinaryOp(op=op, lhs=lhs, rhs=rhs)
+        return lhs
+
+    def parse_additive(self) -> ast.Expr:
+        lhs = self.parse_multiplicative()
+        while self.ts.at("OP", "+") or self.ts.at("OP", "-") or self.ts.at("OP", "//"):
+            op = self.ts.next().value
+            rhs = self.parse_multiplicative()
+            lhs = ast.BinaryOp(op=op, lhs=lhs, rhs=rhs)
+        return lhs
+
+    def parse_multiplicative(self) -> ast.Expr:
+        lhs = self.parse_unary()
+        while self.ts.at("OP", "*") or self.ts.at("OP", "/"):
+            op = self.ts.next().value
+            rhs = self.parse_unary()
+            lhs = ast.BinaryOp(op=op, lhs=lhs, rhs=rhs)
+        return lhs
+
+    def parse_unary(self) -> ast.Expr:
+        if self.ts.at("OP", "-"):
+            self.ts.next()
+            return ast.UnaryOp(op="-", operand=self.parse_unary())
+        if self.ts.at("OP", "+"):
+            self.ts.next()
+            return self.parse_unary()
+        return self.parse_power()
+
+    def parse_power(self) -> ast.Expr:
+        base = self.parse_primary()
+        if self.ts.at("OP", "**"):
+            self.ts.next()
+            exponent = self.parse_unary()   # right-associative
+            return ast.BinaryOp(op="**", lhs=base, rhs=exponent)
+        return base
+
+    _LOGICAL_LITERALS = {".true.": True, ".false.": False}
+
+    def parse_primary(self, allow_call: bool = False) -> ast.Expr:
+        tok = self.ts.peek()
+        loc = tok.loc
+        if tok.kind == "INT":
+            self.ts.next()
+            text = tok.value.split("_")[0]
+            node: ast.Expr = ast.IntLiteral(value=int(text))
+        elif tok.kind == "REAL":
+            self.ts.next()
+            text = tok.value.split("_")[0].lower().replace("d", "e").replace("q", "e")
+            kind = 8 if ("d" in tok.value.lower() or "_8" in tok.value) else 4
+            node = ast.RealLiteral(value=float(text), kind=kind)
+        elif tok.kind == "STRING":
+            self.ts.next()
+            node = ast.CharLiteral(value=tok.value)
+        elif tok.kind == "OP" and tok.value in self._LOGICAL_LITERALS:
+            self.ts.next()
+            node = ast.LogicalLiteral(value=self._LOGICAL_LITERALS[tok.value])
+        elif tok.kind == "OP" and tok.value == "(":
+            self.ts.next()
+            node = self.parse_expr()
+            self.ts.expect("OP", ")")
+        elif tok.kind == "NAME":
+            self.ts.next()
+            name = tok.value
+            if self.ts.at("OP", "("):
+                self.ts.next()
+                args: List[ast.Expr] = []
+                while not self.ts.at("OP", ")"):
+                    args.append(self.parse_subscript())
+                    if not self.ts.accept("OP", ","):
+                        break
+                self.ts.expect("OP", ")")
+                node = ast.CallOrIndex(name=name, args=args)
+            else:
+                node = ast.Identifier(name=name)
+        else:
+            raise ParseError(f"line {tok.line}: unexpected token {tok.value!r} in expression")
+        node.loc = loc
+        # component references: a%b%c, possibly with subscripts
+        while self.ts.at("OP", "%"):
+            self.ts.next()
+            comp = self.ts.expect("NAME").value
+            if self.ts.at("OP", "("):
+                # indexed component access (a%b(i)) is outside the supported
+                # subset; the benchmarks use scalar / whole-array components.
+                raise ParseError(
+                    f"line {loc.line}: indexed derived-type component access "
+                    f"'{comp}(...)' is not supported")
+            node = ast.ComponentRef(base=node, component=comp)
+            node.loc = loc
+        return node
+
+    def parse_subscript(self) -> ast.Expr:
+        """A subscript: an expression or a section triplet ``lo:hi[:stride]``."""
+        if self.ts.at("OP", ":"):
+            self.ts.next()
+            upper = None
+            if not (self.ts.at("OP", ",") or self.ts.at("OP", ")")):
+                upper = self.parse_expr()
+            return ast.SliceTriplet(lower=None, upper=upper)
+        expr = self.parse_expr()
+        if self.ts.accept("OP", ":"):
+            upper = None
+            stride = None
+            if not (self.ts.at("OP", ",") or self.ts.at("OP", ")") or self.ts.at("OP", ":")):
+                upper = self.parse_expr()
+            if self.ts.accept("OP", ":"):
+                stride = self.parse_expr()
+            return ast.SliceTriplet(lower=expr, upper=upper, stride=stride)
+        return expr
+
+
+def parse_source(source: str) -> ast.CompilationUnit:
+    """Parse Fortran source text into a compilation unit."""
+    return Parser(source).parse()
+
+
+__all__ = ["Parser", "ParseError", "parse_source"]

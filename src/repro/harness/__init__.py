@@ -1,0 +1,13 @@
+"""Experiment harness: regenerates every table/figure of the evaluation."""
+
+from .experiments import (ExperimentRow, ExperimentTable, figure3_vectorization,
+                          section4_profile, table1, table2, table3, table4,
+                          table5)
+from .reporting import format_table, ordering_agreement, speedup
+from . import paper_data
+
+__all__ = [
+    "ExperimentRow", "ExperimentTable", "figure3_vectorization",
+    "section4_profile", "table1", "table2", "table3", "table4", "table5",
+    "format_table", "ordering_agreement", "speedup", "paper_data",
+]

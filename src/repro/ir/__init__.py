@@ -1,0 +1,29 @@
+"""MLIR-like IR infrastructure (SSA values, operations, regions, passes).
+
+This package is the foundation every other subsystem builds on; it plays the
+role MLIR + xDSL play in the paper.
+"""
+
+from .attributes import (AffineExpr, AffineMapAttr, ArrayAttr, Attribute,
+                         BoolAttr, DenseFloatElementsAttr,
+                         DenseIntElementsAttr, DictAttr, FloatAttr,
+                         IntegerAttr, StringAttr, SymbolRefAttr, TypeAttr,
+                         UnitAttr)
+from .builder import Builder, InsertPoint
+from .core import (Block, BlockArgument, IRError, OpResult, Operation, Region,
+                   UnregisteredOp, Use, Value, create_operation, register_op,
+                   registered_op)
+from .pass_manager import (FunctionPass, Pass, PassError, PassManager,
+                           available_passes, get_registered_pass,
+                           parse_pipeline, register_pass)
+from .printer import Printer, print_block, print_op
+from .rewriter import (PatternRewriter, RewritePattern, RewritePatternSet,
+                       apply_patterns_greedily)
+from .types import (DYNAMIC, ComplexType, FloatType, FunctionType, IndexType,
+                    IntegerType, MemRefType, NoneType, ShapedType, TensorType,
+                    TupleType, Type, VectorType, bitwidth, f32, f64, i1, i8,
+                    i16, i32, i64, index, is_float, is_integer, is_scalar,
+                    none)
+from .verifier import VerificationError, verify_module, verify_operation
+
+__all__ = [name for name in dir() if not name.startswith("_")]

@@ -1,0 +1,122 @@
+"""Control-flow graph utilities: successors, predecessors, dominators.
+
+Used by LICM, CSE across blocks and the branch-fixup rewrite of Section V-A
+(which needs to map block indices to blocks after the main transformation).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from .core import Block, Operation, Region
+
+
+def region_cfg(region: Region) -> Dict[Block, List[Block]]:
+    """Successor map of the blocks of a region."""
+    cfg: Dict[Block, List[Block]] = {}
+    for block in region.blocks:
+        term = block.last_op
+        cfg[block] = list(term.successors) if term is not None else []
+    return cfg
+
+
+def reverse_cfg(cfg: Dict[Block, List[Block]]) -> Dict[Block, List[Block]]:
+    rev: Dict[Block, List[Block]] = {b: [] for b in cfg}
+    for block, succs in cfg.items():
+        for s in succs:
+            rev.setdefault(s, []).append(block)
+    return rev
+
+
+def reachable_blocks(region: Region) -> List[Block]:
+    """Blocks reachable from the entry block, in reverse post-order."""
+    if not region.blocks:
+        return []
+    cfg = region_cfg(region)
+    entry = region.blocks[0]
+    visited: Set[Block] = set()
+    order: List[Block] = []
+
+    def dfs(block: Block) -> None:
+        visited.add(block)
+        for succ in cfg.get(block, []):
+            if succ not in visited:
+                dfs(succ)
+        order.append(block)
+
+    dfs(entry)
+    order.reverse()
+    return order
+
+
+def compute_dominators(region: Region) -> Dict[Block, Set[Block]]:
+    """Classic iterative dominator computation over the region's CFG."""
+    blocks = reachable_blocks(region)
+    if not blocks:
+        return {}
+    cfg = region_cfg(region)
+    preds = reverse_cfg(cfg)
+    entry = blocks[0]
+    dom: Dict[Block, Set[Block]] = {b: set(blocks) for b in blocks}
+    dom[entry] = {entry}
+    changed = True
+    while changed:
+        changed = False
+        for block in blocks[1:]:
+            pred_doms = [dom[p] for p in preds.get(block, []) if p in dom]
+            new = set(blocks) if not pred_doms else set.intersection(*pred_doms)
+            new.add(block)
+            if new != dom[block]:
+                dom[block] = new
+                changed = True
+    return dom
+
+
+def dominates(a: Block, b: Block, dom: Optional[Dict[Block, Set[Block]]] = None) -> bool:
+    if a is b:
+        return True
+    if a.parent is not b.parent:
+        return False
+    if dom is None:
+        dom = compute_dominators(a.parent)
+    return a in dom.get(b, set())
+
+
+def op_dominates(a: Operation, b: Operation) -> bool:
+    """True when ``a`` is guaranteed to execute before ``b``.
+
+    Handles the same-block case by position and the different-block case via
+    block dominance; nested regions fall back to checking whether ``a``'s
+    block is an ancestor of ``b``.
+    """
+    if a.parent is b.parent and a.parent is not None:
+        return a.is_before_in_block(b)
+    # walk b's ancestors until we reach a's region
+    block_b: Optional[Block] = b.parent
+    while block_b is not None and block_b.parent is not (a.parent.parent if a.parent else None):
+        parent_op = block_b.parent_op()
+        if parent_op is None:
+            break
+        block_b = parent_op.parent
+    if block_b is None or a.parent is None:
+        return False
+    if block_b is a.parent:
+        anchor = block_b.parent_op() if b.parent is not block_b else b
+        # find the op in a's block that (transitively) contains b
+        container = b
+        while container.parent is not a.parent and container.parent_op() is not None:
+            container = container.parent_op()
+        if container.parent is not a.parent:
+            return False
+        return a.is_before_in_block(container)
+    return dominates(a.parent, block_b)
+
+
+__all__ = [
+    "region_cfg",
+    "reverse_cfg",
+    "reachable_blocks",
+    "compute_dominators",
+    "dominates",
+    "op_dominates",
+]

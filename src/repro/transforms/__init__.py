@@ -1,0 +1,30 @@
+"""Standard MLIR transformation and conversion passes.
+
+Importing this package registers every pass with the pass registry so that
+``PassManager.from_pipeline`` can resolve the pipeline strings used in the
+paper (Listing 1 and Figure 3).
+"""
+
+from .cleanup import (CanonicalizePass, CSEPass, FoldMemrefAliasOpsPass,
+                      LoopInvariantCodeMotionPass, MathUpliftToFMAPass,
+                      ReconcileUnrealizedCastsPass)
+from .convert_linalg_to_loops import ConvertLinalgToLoopsPass
+from .convert_scf_to_cf import ConvertScfToCfPass
+from .lower_affine import LowerAffinePass
+from .parallel_lowering import (ConvertOpenMPToLLVMPass,
+                                ConvertParallelLoopsToGpuPass,
+                                ConvertScfToOpenMPPass)
+from .to_llvm import (ConvertArithToLLVMPass, ConvertCfToLLVMPass,
+                      ConvertFuncToLLVMPass, ConvertMathToLLVMPass,
+                      ConvertVectorToLLVMPass, FinalizeMemrefToLLVMPass)
+
+__all__ = [
+    "CanonicalizePass", "CSEPass", "FoldMemrefAliasOpsPass",
+    "LoopInvariantCodeMotionPass", "MathUpliftToFMAPass",
+    "ReconcileUnrealizedCastsPass", "ConvertLinalgToLoopsPass",
+    "ConvertScfToCfPass", "LowerAffinePass", "ConvertOpenMPToLLVMPass",
+    "ConvertParallelLoopsToGpuPass", "ConvertScfToOpenMPPass",
+    "ConvertArithToLLVMPass", "ConvertCfToLLVMPass", "ConvertFuncToLLVMPass",
+    "ConvertMathToLLVMPass", "ConvertVectorToLLVMPass",
+    "FinalizeMemrefToLLVMPass",
+]

@@ -1,0 +1,422 @@
+"""Generic cleanup passes: canonicalisation, CSE, LICM, cast reconciliation,
+FMA uplifting and memref alias folding (all named in Listing 1 of the paper).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..dialects import arith, math as math_d
+from ..ir import types as ir_types
+from ..ir.attributes import FloatAttr, IntegerAttr
+from ..ir.core import Block, Operation, Value
+from ..ir.pass_manager import FunctionPass, Pass, register_pass
+from ..ir.traits import CONSTANT_LIKE, LOOP_LIKE, PURE, READ_ONLY
+
+
+def _constant_of(value: Value):
+    op = getattr(value, "op", None)
+    if op is not None and op.name == "arith.constant":
+        return op.get_attr("value").value
+    return None
+
+
+def _is_pure(op: Operation) -> bool:
+    return (op.has_trait(PURE) or op.has_trait(CONSTANT_LIKE)) and not op.regions
+
+
+# ---------------------------------------------------------------------------
+# canonicalize
+# ---------------------------------------------------------------------------
+
+
+@register_pass
+class CanonicalizePass(Pass):
+    """Constant folding, algebraic simplification and dead-code elimination."""
+
+    NAME = "canonicalize"
+
+    _FOLDABLE_INT = {
+        "arith.addi": lambda a, b: a + b,
+        "arith.subi": lambda a, b: a - b,
+        "arith.muli": lambda a, b: a * b,
+        "arith.divsi": lambda a, b: int(a / b) if b else 0,
+        "arith.floordivsi": lambda a, b: a // b if b else 0,
+        "arith.remsi": lambda a, b: a % b if b else 0,
+        "arith.maxsi": max,
+        "arith.minsi": min,
+        "arith.andi": lambda a, b: a & b,
+        "arith.ori": lambda a, b: a | b,
+        "arith.xori": lambda a, b: a ^ b,
+    }
+    _FOLDABLE_FLOAT = {
+        "arith.addf": lambda a, b: a + b,
+        "arith.subf": lambda a, b: a - b,
+        "arith.mulf": lambda a, b: a * b,
+        "arith.divf": lambda a, b: a / b if b else float("inf"),
+        "arith.maximumf": max,
+        "arith.minimumf": min,
+    }
+    _IDENTITY_RIGHT = {
+        "arith.addi": 0, "arith.subi": 0, "arith.addf": 0.0, "arith.subf": 0.0,
+        "arith.muli": 1, "arith.mulf": 1.0, "arith.divsi": 1, "arith.divf": 1.0,
+    }
+
+    def run(self, module: Operation) -> None:
+        changed = True
+        iterations = 0
+        while changed and iterations < 8:
+            changed = False
+            iterations += 1
+            for op in list(module.walk()):
+                if op.parent is None:
+                    continue
+                if self._fold(op):
+                    changed = True
+            changed |= self._dce(module) > 0
+
+    def _fold(self, op: Operation) -> bool:
+        name = op.name
+        if name in self._FOLDABLE_INT or name in self._FOLDABLE_FLOAT:
+            lhs = _constant_of(op.operands[0])
+            rhs = _constant_of(op.operands[1])
+            result_type = op.results[0].type
+            if lhs is not None and rhs is not None and \
+                    not isinstance(result_type, ir_types.VectorType):
+                table = self._FOLDABLE_INT if name in self._FOLDABLE_INT \
+                    else self._FOLDABLE_FLOAT
+                value = table[name](lhs, rhs)
+                const = arith.ConstantOp(value if name in self._FOLDABLE_FLOAT
+                                         else int(value), result_type)
+                op.parent.insert_before(op, const)
+                op.replace_all_uses_with([const.result])
+                op.erase(check_uses=False)
+                return True
+            if rhs is not None and name in self._IDENTITY_RIGHT and \
+                    rhs == self._IDENTITY_RIGHT[name]:
+                op.replace_all_uses_with([op.operands[0]])
+                op.erase(check_uses=False)
+                return True
+        if name == "arith.index_cast":
+            src = op.operands[0]
+            if src.type == op.results[0].type:
+                op.replace_all_uses_with([src])
+                op.erase(check_uses=False)
+                return True
+            inner = getattr(src, "op", None)
+            if inner is not None and inner.name == "arith.index_cast" and \
+                    inner.operands[0].type == op.results[0].type:
+                op.replace_all_uses_with([inner.operands[0]])
+                op.erase(check_uses=False)
+                return True
+            const = _constant_of(src)
+            if const is not None:
+                new = arith.ConstantOp(int(const), op.results[0].type)
+                op.parent.insert_before(op, new)
+                op.replace_all_uses_with([new.result])
+                op.erase(check_uses=False)
+                return True
+        if name == "arith.cmpi":
+            lhs, rhs = _constant_of(op.operands[0]), _constant_of(op.operands[1])
+            if lhs is not None and rhs is not None:
+                pred = op.get_attr("predicate").value
+                table = {"eq": lhs == rhs, "ne": lhs != rhs, "slt": lhs < rhs,
+                         "sle": lhs <= rhs, "sgt": lhs > rhs, "sge": lhs >= rhs}
+                if pred in table:
+                    new = arith.ConstantOp(bool(table[pred]), ir_types.i1)
+                    op.parent.insert_before(op, new)
+                    op.replace_all_uses_with([new.result])
+                    op.erase(check_uses=False)
+                    return True
+        if name == "arith.select":
+            cond = _constant_of(op.operands[0])
+            if cond is not None:
+                op.replace_all_uses_with([op.operands[1] if cond else op.operands[2]])
+                op.erase(check_uses=False)
+                return True
+        if name == "scf.if":
+            cond = _constant_of(op.operands[0])
+            if cond is not None and not op.results:
+                block = op.regions[0].blocks[0] if cond else (
+                    op.regions[1].blocks[0] if op.regions[1].blocks else None)
+                if block is not None:
+                    terminator = block.terminator
+                    if terminator is not None:
+                        terminator.erase(check_uses=False)
+                    for inner in list(block.ops):
+                        inner.detach()
+                        op.parent.insert_before(op, inner)
+                op.erase(check_uses=False)
+                return True
+        return False
+
+    def _dce(self, module: Operation) -> int:
+        removed = 0
+        changed = True
+        while changed:
+            changed = False
+            for op in list(module.walk_postorder()):
+                if op.parent is None or op is module:
+                    continue
+                if _is_pure(op) and op.results and \
+                        all(r.num_uses == 0 for r in op.results):
+                    op.erase(check_uses=False)
+                    removed += 1
+                    changed = True
+        return removed
+
+
+# ---------------------------------------------------------------------------
+# cse
+# ---------------------------------------------------------------------------
+
+
+@register_pass
+class CSEPass(Pass):
+    """Common-subexpression elimination of pure ops within each block."""
+
+    NAME = "cse"
+
+    def run(self, module: Operation) -> None:
+        for op in module.walk():
+            for region in op.regions:
+                for block in region.blocks:
+                    self._run_on_block(block)
+
+    @staticmethod
+    def _op_key(op: Operation) -> Optional[Tuple]:
+        if not _is_pure(op) or not op.results:
+            return None
+        attrs = tuple(sorted((k, repr(v)) for k, v in op.attributes.items()))
+        return (op.name, tuple(id(o) for o in op.operands), attrs)
+
+    def _run_on_block(self, block: Block) -> None:
+        seen: Dict[Tuple, Operation] = {}
+        for op in list(block.ops):
+            key = self._op_key(op)
+            if key is None:
+                continue
+            if key in seen:
+                op.replace_all_uses_with(list(seen[key].results))
+                op.erase(check_uses=False)
+            else:
+                seen[key] = op
+
+
+# ---------------------------------------------------------------------------
+# loop-invariant code motion
+# ---------------------------------------------------------------------------
+
+
+@register_pass
+class LoopInvariantCodeMotionPass(Pass):
+    NAME = "loop-invariant-code-motion"
+
+    _LOOPS = ("scf.for", "scf.while", "scf.parallel", "affine.for")
+
+    def run(self, module: Operation) -> None:
+        changed = True
+        while changed:
+            changed = False
+            for loop in list(module.walk()):
+                if loop.name not in self._LOOPS or loop.parent is None:
+                    continue
+                changed |= self._hoist_from(loop)
+
+    def _hoist_from(self, loop: Operation) -> bool:
+        changed = False
+        body_blocks = [b for r in loop.regions for b in r.blocks]
+        for block in body_blocks:
+            for op in list(block.ops):
+                if not _is_pure(op) or not op.results:
+                    continue
+                if any(self._defined_inside(operand, loop) for operand in op.operands):
+                    continue
+                op.detach()
+                loop.parent.insert_before(loop, op)
+                changed = True
+        return changed
+
+    @staticmethod
+    def _defined_inside(value: Value, loop: Operation) -> bool:
+        owner = value.owner
+        if isinstance(owner, Block):
+            block = owner
+        else:
+            block = owner.parent
+        while block is not None:
+            parent_op = block.parent_op()
+            if parent_op is loop:
+                return True
+            if parent_op is None:
+                return False
+            block = parent_op.parent
+        return False
+
+
+# ---------------------------------------------------------------------------
+# reconcile-unrealized-casts
+# ---------------------------------------------------------------------------
+
+
+@register_pass
+class ReconcileUnrealizedCastsPass(Pass):
+    NAME = "reconcile-unrealized-casts"
+
+    def run(self, module: Operation) -> None:
+        for op in list(module.walk()):
+            if op.name != "builtin.unrealized_conversion_cast":
+                continue
+            if len(op.operands) == len(op.results):
+                op.replace_all_uses_with(list(op.operands))
+                op.erase(check_uses=False)
+
+
+# ---------------------------------------------------------------------------
+# math-uplift-to-fma
+# ---------------------------------------------------------------------------
+
+
+@register_pass
+class MathUpliftToFMAPass(Pass):
+    """Fuse ``arith.mulf`` + ``arith.addf`` into ``math.fma``."""
+
+    NAME = "math-uplift-to-fma"
+
+    def run(self, module: Operation) -> None:
+        for op in list(module.walk()):
+            if op.name != "arith.addf" or op.parent is None:
+                continue
+            for idx, operand in enumerate(op.operands):
+                mul = getattr(operand, "op", None)
+                if mul is not None and mul.name == "arith.mulf" and \
+                        operand.has_one_use() and mul.parent is op.parent:
+                    other = op.operands[1 - idx]
+                    fma = math_d.FmaOp(mul.operands[0], mul.operands[1], other)
+                    op.parent.insert_before(op, fma)
+                    op.replace_all_uses_with([fma.result])
+                    op.erase(check_uses=False)
+                    mul.erase(check_uses=False)
+                    break
+
+
+# ---------------------------------------------------------------------------
+# fold-memref-alias-ops
+# ---------------------------------------------------------------------------
+
+
+@register_pass
+class FoldMemrefAliasOpsPass(Pass):
+    """Fold memref.subview views into the loads/stores that use them (for the
+    unit-stride case), removing the intermediate view at access time."""
+
+    NAME = "fold-memref-alias-ops"
+
+    def run(self, module: Operation) -> None:
+        for op in list(module.walk()):
+            if op.name not in ("memref.load", "memref.store", "affine.load",
+                               "affine.store", "vector.load", "vector.store"):
+                continue
+            memref_index = 0 if op.name in ("memref.load", "affine.load", "vector.load") else 1
+            source = op.operands[memref_index]
+            subview = getattr(source, "op", None)
+            if subview is None or subview.name != "memref.subview":
+                continue
+            strides = [_constant_of(s) for s in subview.strides]
+            if any(s != 1 for s in strides):
+                continue
+            base = subview.source
+            offsets = list(subview.offsets)
+            indices = list(op.operands[memref_index + 1:])
+            if len(indices) != len(offsets):
+                continue
+            new_indices = []
+            for index, offset in zip(indices, offsets):
+                add = arith.AddIOp(index, offset)
+                op.parent.insert_before(op, add)
+                new_indices.append(add.result)
+            new_operands = list(op.operands[:memref_index]) + [base] + new_indices
+            op.set_operands(new_operands)
+
+
+__all__ = [
+    "CanonicalizePass", "CSEPass", "LoopInvariantCodeMotionPass",
+    "ReconcileUnrealizedCastsPass", "MathUpliftToFMAPass",
+    "FoldMemrefAliasOpsPass",
+]
+
+
+@register_pass
+class ForwardScalarStoresPass(Pass):
+    """Block-local store-to-load forwarding for rank-0 memrefs.
+
+    Flang materialises the loop index into the Fortran iteration variable at
+    the top of every loop body; without forwarding that value back into the
+    subscript computations the affine promotion/vectorisation passes cannot
+    see the induction variable (mirrors LLVM's mem2reg behaviour).
+    """
+
+    NAME = "forward-scalar-stores"
+
+    def run(self, module: Operation) -> None:
+        from ..ir import types as ir_types
+        for op in module.walk():
+            for region in op.regions:
+                for block in region.blocks:
+                    self._run_on_block(block)
+        self._eliminate_dead_scalar_stores(module)
+
+    def _eliminate_dead_scalar_stores(self, module: Operation) -> None:
+        """Remove stores to rank-0 stack scalars that are never read again
+        (typically the per-iteration store of the loop index into the Fortran
+        iteration variable once forwarding has removed all its loads)."""
+        for op in list(module.walk()):
+            if op.name != "memref.alloca" or not op.results:
+                continue
+            value = op.results[0]
+            if not self._is_rank0(value):
+                continue
+            users = value.users()
+            if any(u.name not in ("memref.store", "memref.load") for u in users):
+                continue
+            if any(u.name == "memref.load" for u in users):
+                continue
+            if any(u.name == "memref.store" and u.operands[1] is not value
+                   for u in users):
+                continue
+            for user in users:
+                user.erase(check_uses=False)
+            op.erase(check_uses=False)
+
+    @staticmethod
+    def _is_rank0(value: Value) -> bool:
+        from ..ir import types as ir_types
+        return isinstance(value.type, ir_types.MemRefType) and value.type.rank == 0 \
+            and not isinstance(value.type.element_type, ir_types.MemRefType)
+
+    def _run_on_block(self, block: Block) -> None:
+        known: Dict[int, Value] = {}
+        for op in list(block.ops):
+            if op.name == "memref.store" and self._is_rank0(op.operands[1]):
+                known[id(op.operands[1])] = op.operands[0]
+                continue
+            if op.name == "memref.load" and self._is_rank0(op.operands[0]):
+                value = known.get(id(op.operands[0]))
+                if value is not None and value.type == op.results[0].type:
+                    op.replace_all_uses_with([value])
+                    op.erase(check_uses=False)
+                continue
+            if op.name in ("memref.store", "affine.store", "vector.store"):
+                # a store to a rank>0 memref cannot alias a rank-0 stack scalar
+                continue
+            # calls may write scalars passed by reference; region-bearing ops
+            # may contain further stores; any other memory-writing op (linalg
+            # outs, hlfir.assign, ...) may update the cell — all invalidate
+            # the tracked values
+            from ..ir.traits import WRITES_MEMORY
+            if op.regions or op.has_trait(WRITES_MEMORY) or \
+                    op.name.endswith(".call") or op.dialect in ("linalg", "hlfir"):
+                known.clear()
+
+
+__all__.append("ForwardScalarStoresPass")

@@ -1,0 +1,195 @@
+"""``convert-scf-to-cf``: lower structured control flow to branch-based CFG."""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..dialects import arith, cf, memref, scf
+from ..ir import types as ir_types
+from ..ir.core import Block, Operation, Region, Value
+from ..ir.pass_manager import FunctionPass, register_pass
+from .cfg import CFGLowering, split_block
+
+
+class ScfToCfLowering(CFGLowering):
+    structured_op_names = (
+        "scf.for", "scf.if", "scf.while", "scf.parallel", "scf.execute_region",
+        "memref.alloca_scope",
+    )
+
+    # -- scf.for -----------------------------------------------------------------
+    def lower_scf_for(self, op: scf.ForOp) -> None:
+        parent_block = op.parent
+        region = parent_block.parent
+        tail = split_block(parent_block, op)
+        op.detach()
+
+        cond_block = Block(arg_types=[ir_types.index] + [v.type for v in op.iter_args])
+        region.insert_block_at(parent_block.index_in_region() + 1, cond_block)
+
+        body_block = op.body
+        op.regions[0].blocks.remove(body_block)
+        region.insert_block_at(cond_block.index_in_region() + 1, body_block)
+
+        # continuation receives the loop results
+        for res in op.results:
+            arg = tail.add_argument(res.type)
+            res.replace_all_uses_with(arg)
+
+        # entry: branch to the condition block with initial values
+        parent_block.add_op(cf.BranchOp(cond_block,
+                                        [op.lower_bound, *op.iter_args]))
+        # condition block: iv < ub ?
+        cmp = arith.CmpIOp("slt", cond_block.args[0], op.upper_bound)
+        cond_block.add_op(cmp)
+        cond_block.add_op(cf.CondBranchOp(
+            cmp.result, body_block, tail,
+            list(cond_block.args), list(cond_block.args[1:])))
+        # body: replace the yield with iv increment + back-branch
+        yield_op = body_block.terminator
+        yielded = list(yield_op.operands) if yield_op is not None else []
+        if yield_op is not None:
+            yield_op.erase(check_uses=False)
+        incr = arith.AddIOp(body_block.args[0], op.step)
+        body_block.add_op(incr)
+        body_block.add_op(cf.BranchOp(cond_block, [incr.result, *yielded]))
+        op.erase(check_uses=False)
+
+    # -- scf.if -----------------------------------------------------------------
+    def lower_scf_if(self, op: scf.IfOp) -> None:
+        parent_block = op.parent
+        region = parent_block.parent
+        tail = split_block(parent_block, op)
+        op.detach()
+
+        for res in op.results:
+            arg = tail.add_argument(res.type)
+            res.replace_all_uses_with(arg)
+
+        then_block = op.then_block
+        op.regions[0].blocks.remove(then_block)
+        region.insert_block_at(parent_block.index_in_region() + 1, then_block)
+        self._retarget_yield(then_block, tail)
+
+        if op.has_else() and op.else_block is not None:
+            else_block = op.else_block
+            op.regions[1].blocks.remove(else_block)
+            region.insert_block_at(then_block.index_in_region() + 1, else_block)
+            self._retarget_yield(else_block, tail)
+            parent_block.add_op(cf.CondBranchOp(op.condition, then_block, else_block))
+        else:
+            parent_block.add_op(cf.CondBranchOp(op.condition, then_block, tail))
+        op.erase(check_uses=False)
+
+    @staticmethod
+    def _retarget_yield(block: Block, tail: Block) -> None:
+        yield_op = block.terminator
+        values = list(yield_op.operands) if yield_op is not None else []
+        if yield_op is not None:
+            yield_op.erase(check_uses=False)
+        block.add_op(cf.BranchOp(tail, values))
+
+    # -- scf.while ---------------------------------------------------------------
+    def lower_scf_while(self, op: scf.WhileOp) -> None:
+        parent_block = op.parent
+        region = parent_block.parent
+        tail = split_block(parent_block, op)
+        op.detach()
+
+        for res in op.results:
+            arg = tail.add_argument(res.type)
+            res.replace_all_uses_with(arg)
+
+        before = op.before_block
+        after = op.after_block
+        op.regions[0].blocks.remove(before)
+        op.regions[1].blocks.remove(after)
+        region.insert_block_at(parent_block.index_in_region() + 1, before)
+        region.insert_block_at(before.index_in_region() + 1, after)
+
+        parent_block.add_op(cf.BranchOp(before, list(op.operands)))
+
+        condition_op = before.terminator
+        cond_value = condition_op.operands[0]
+        forwarded = list(condition_op.operands[1:])
+        condition_op.erase(check_uses=False)
+        before.add_op(cf.CondBranchOp(cond_value, after, tail, forwarded, forwarded))
+
+        yield_op = after.terminator
+        yielded = list(yield_op.operands) if yield_op is not None else []
+        if yield_op is not None:
+            yield_op.erase(check_uses=False)
+        after.add_op(cf.BranchOp(before, yielded))
+        op.erase(check_uses=False)
+
+    # -- scf.parallel (sequential fallback) -----------------------------------------
+    def lower_scf_parallel(self, op: scf.ParallelOp) -> None:
+        """Any scf.parallel not claimed by the OpenMP/GPU lowerings is executed
+        sequentially: rewrite it to a nest of scf.for loops first."""
+        parent_block = op.parent
+        rank = op.rank
+        builder_block = parent_block
+        anchor = op
+        outer_for = None
+        ivs: List[Value] = []
+        loops: List[scf.ForOp] = []
+        for d in range(rank):
+            loop = scf.ForOp(op.lower_bounds[d], op.upper_bounds[d], op.steps[d])
+            if d == 0:
+                parent_block.insert_before(anchor, loop)
+                outer_for = loop
+            else:
+                loops[-1].body.add_op(loop)
+            loops.append(loop)
+            ivs.append(loop.induction_variable)
+        innermost = loops[-1]
+        body = op.body
+        # move body ops (minus terminator) into the innermost loop
+        for arg, iv in zip(body.args, ivs):
+            arg.replace_all_uses_with(iv)
+        for inner_op in list(body.ops):
+            if inner_op.name in ("scf.yield", "scf.reduce"):
+                inner_op.erase(check_uses=False)
+                continue
+            inner_op.detach()
+            innermost.body.add_op(inner_op)
+        for loop in reversed(loops):
+            if loop.body.terminator is None:
+                loop.body.add_op(scf.YieldOp())
+        op.erase(check_uses=False)
+
+    # -- scf.execute_region & memref.alloca_scope -------------------------------------
+    def lower_scf_execute_region(self, op: Operation) -> None:
+        self._inline_single_block_region(op)
+
+    def lower_memref_alloca_scope(self, op: Operation) -> None:
+        self._inline_single_block_region(op)
+
+    @staticmethod
+    def _inline_single_block_region(op: Operation) -> None:
+        parent_block = op.parent
+        block = op.regions[0].blocks[0] if op.regions and op.regions[0].blocks else None
+        if block is None:
+            op.erase(check_uses=False)
+            return
+        terminator = block.terminator
+        results = list(terminator.operands) if terminator is not None else []
+        if terminator is not None:
+            terminator.erase(check_uses=False)
+        for res, val in zip(op.results, results):
+            res.replace_all_uses_with(val)
+        for inner in list(block.ops):
+            inner.detach()
+            parent_block.insert_before(op, inner)
+        op.erase(check_uses=False)
+
+
+@register_pass
+class ConvertScfToCfPass(FunctionPass):
+    NAME = "convert-scf-to-cf"
+
+    def run_on_function(self, func: Operation) -> None:
+        ScfToCfLowering().run_on_function(func)
+
+
+__all__ = ["ConvertScfToCfPass", "ScfToCfLowering"]

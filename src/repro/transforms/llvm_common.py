@@ -1,0 +1,57 @@
+"""Shared operation/type mapping tables for lowering into the llvm dialect.
+
+Used both by the standard-MLIR conversion passes (``convert-arith-to-llvm``
+and friends) and by Flang's bespoke code generation — which is precisely the
+duplication the paper argues the standard flow avoids.
+"""
+
+from __future__ import annotations
+
+from ..dialects import fir, llvm
+from ..ir import types as ir_types
+
+ARITH_TO_LLVM = {
+    "arith.addi": "llvm.add", "arith.subi": "llvm.sub", "arith.muli": "llvm.mul",
+    "arith.divsi": "llvm.sdiv", "arith.remsi": "llvm.srem",
+    "arith.floordivsi": "llvm.sdiv", "arith.ceildivsi": "llvm.sdiv",
+    "arith.andi": "llvm.and", "arith.ori": "llvm.or", "arith.xori": "llvm.xor",
+    "arith.shli": "llvm.shl", "arith.shrsi": "llvm.ashr",
+    "arith.addf": "llvm.fadd", "arith.subf": "llvm.fsub",
+    "arith.mulf": "llvm.fmul", "arith.divf": "llvm.fdiv",
+    "arith.remf": "llvm.frem", "arith.negf": "llvm.fneg",
+    "arith.extsi": "llvm.sext", "arith.extui": "llvm.zext",
+    "arith.trunci": "llvm.trunc", "arith.extf": "llvm.fpext",
+    "arith.truncf": "llvm.fptrunc", "arith.sitofp": "llvm.sitofp",
+    "arith.fptosi": "llvm.fptosi", "arith.bitcast": "llvm.bitcast",
+    "arith.select": "llvm.select",
+}
+
+MATH_TO_LIBM = {
+    "math.sqrt": "sqrt", "math.exp": "exp", "math.log": "log",
+    "math.log10": "log10", "math.sin": "sin", "math.cos": "cos",
+    "math.tan": "tan", "math.tanh": "tanh", "math.atan": "atan",
+    "math.atan2": "atan2", "math.powf": "pow", "math.absf": "fabs",
+    "math.absi": "abs", "math.fpowi": "pow", "math.ipowi": "ipow",
+    "math.fma": "fma",
+}
+
+
+def llvm_type(t: ir_types.Type) -> ir_types.Type:
+    """Convert a FIR/builtin/memref type to its llvm dialect representation."""
+    if isinstance(t, (fir.ReferenceType, fir.HeapType, fir.PointerType,
+                      fir.BoxType)):
+        return llvm.ptr
+    if isinstance(t, ir_types.IndexType):
+        return ir_types.i64
+    if isinstance(t, fir.LogicalType):
+        return ir_types.i1
+    if isinstance(t, (fir.SequenceType, ir_types.MemRefType)):
+        return llvm.ptr
+    if isinstance(t, (fir.ShapeType, fir.ShapeShiftType)):
+        return llvm.LLVMStructType([ir_types.i64])
+    if isinstance(t, fir.RecordType):
+        return llvm.LLVMStructType([llvm_type(mt) for _, mt in t.members])
+    return t
+
+
+__all__ = ["ARITH_TO_LLVM", "MATH_TO_LIBM", "llvm_type"]

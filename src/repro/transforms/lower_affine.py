@@ -1,0 +1,134 @@
+"""``lower-affine``: lower affine loops and accesses back to scf + memref."""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..dialects import affine as affine_d
+from ..dialects import arith, memref as memref_d, scf, vector as vector_d
+from ..ir import types as ir_types
+from ..ir.attributes import AffineExpr, AffineMapAttr
+from ..ir.core import Block, Operation, Value
+from ..ir.pass_manager import FunctionPass, register_pass
+
+
+def _materialize_expr(expr: AffineExpr, operands: List[Value], anchor: Operation) -> Value:
+    """Emit arith ops computing one affine expression before ``anchor``."""
+    block = anchor.parent
+
+    def emit(op: Operation) -> Value:
+        block.insert_before(anchor, op)
+        return op.results[0]
+
+    if expr.kind == "dim":
+        return operands[expr.value]
+    if expr.kind == "sym":
+        return operands[expr.value]
+    if expr.kind == "const":
+        return emit(arith.ConstantOp(expr.value, ir_types.index))
+    lhs = _materialize_expr(expr.lhs, operands, anchor)
+    rhs = _materialize_expr(expr.rhs, operands, anchor)
+    table = {"add": arith.AddIOp, "mul": arith.MulIOp, "mod": arith.RemSIOp,
+             "floordiv": arith.FloorDivSIOp, "ceildiv": arith.CeilDivSIOp}
+    return emit(table[expr.kind](lhs, rhs))
+
+
+def _materialize_map(amap: AffineMapAttr, operands: List[Value],
+                     anchor: Operation) -> List[Value]:
+    return [_materialize_expr(expr, operands, anchor) for expr in amap.results]
+
+
+class LowerAffine:
+    def __init__(self, func: Operation):
+        self.func = func
+
+    def run(self) -> None:
+        changed = True
+        while changed:
+            changed = False
+            for op in list(self.func.walk()):
+                if op.parent is None:
+                    continue
+                if op.name == "affine.for":
+                    self._lower_for(op)
+                    changed = True
+                    break
+                if op.name in ("affine.load", "affine.store", "affine.apply",
+                               "vector.load", "vector.store"):
+                    self._lower_access(op)
+        # second sweep for accesses outside affine loops
+        for op in list(self.func.walk()):
+            if op.parent is not None and op.name in ("affine.load", "affine.store",
+                                                     "affine.apply"):
+                self._lower_access(op)
+
+    def _lower_for(self, op: affine_d.AffineForOp) -> None:
+        lower_vals = _materialize_map(op.lower_bound_map, list(op.lower_operands), op)
+        upper_vals = _materialize_map(op.upper_bound_map, list(op.upper_operands), op)
+        step = arith.ConstantOp(op.step_value, ir_types.index)
+        op.parent.insert_before(op, step)
+        loop = scf.ForOp(lower_vals[0], upper_vals[0], step.result,
+                         [  # iter args preserved
+                             v for v in op.iter_args])
+        op.parent.insert_before(op, loop)
+        if op.get_attr("vectorized") is not None:
+            loop.set_attr("vectorized", op.get_attr("vectorized"))
+        if op.get_attr("tiled") is not None:
+            loop.set_attr("tiled", op.get_attr("tiled"))
+        op.induction_variable.replace_all_uses_with(loop.induction_variable)
+        for old_arg, new_arg in zip(op.body.args[1:], loop.region_iter_args):
+            old_arg.replace_all_uses_with(new_arg)
+        for inner in list(op.body.ops):
+            inner.detach()
+            if inner.name == "affine.yield":
+                loop.body.add_op(scf.YieldOp(list(inner.operands)))
+                inner.drop_all_references()
+                continue
+            loop.body.add_op(inner)
+        if loop.body.terminator is None:
+            loop.body.add_op(scf.YieldOp())
+        for old, new in zip(op.results, loop.results):
+            old.replace_all_uses_with(new)
+        op.erase(check_uses=False)
+
+    def _lower_access(self, op: Operation) -> None:
+        amap = op.get_attr("map")
+        if amap is None:
+            return
+        if op.name in ("affine.load", "vector.load"):
+            memref_value = op.operands[0]
+            operands = list(op.operands[1:])
+            indices = _materialize_map(amap, operands, op)
+            if op.name == "affine.load":
+                new = memref_d.LoadOp(memref_value, indices)
+            else:
+                new = vector_d.VectorLoadOp(op.results[0].type, memref_value, indices)
+            op.parent.insert_before(op, new)
+            op.replace_all_uses_with([new.results[0]])
+            op.erase(check_uses=False)
+        elif op.name in ("affine.store", "vector.store"):
+            value = op.operands[0]
+            memref_value = op.operands[1]
+            operands = list(op.operands[2:])
+            indices = _materialize_map(amap, operands, op)
+            if op.name == "affine.store":
+                new = memref_d.StoreOp(value, memref_value, indices)
+            else:
+                new = vector_d.VectorStoreOp(value, memref_value, indices)
+            op.parent.insert_before(op, new)
+            op.erase(check_uses=False)
+        elif op.name == "affine.apply":
+            indices = _materialize_map(amap, list(op.operands), op)
+            op.replace_all_uses_with([indices[0]])
+            op.erase(check_uses=False)
+
+
+@register_pass
+class LowerAffinePass(FunctionPass):
+    NAME = "lower-affine"
+
+    def run_on_function(self, func: Operation) -> None:
+        LowerAffine(func).run()
+
+
+__all__ = ["LowerAffinePass", "LowerAffine"]

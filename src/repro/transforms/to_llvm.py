@@ -1,0 +1,228 @@
+"""Final conversions into the ``llvm`` dialect (the tail of Listing 1).
+
+These passes are one-to-one operation conversions; they reuse the same
+mapping machinery as Flang's bespoke code generation (which is the point the
+paper makes: in the standard flow these conversions come for free from MLIR,
+whereas Flang had to write its own).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..dialects import llvm, memref as memref_d, vector as vector_d
+from .llvm_common import ARITH_TO_LLVM as _ARITH_TO_LLVM
+from .llvm_common import MATH_TO_LIBM as _MATH_TO_LIBM
+from .llvm_common import llvm_type as _llvm_type
+from ..ir import types as ir_types
+from ..ir.attributes import IntegerAttr
+from ..ir.core import Operation, Value, create_operation
+from ..ir.pass_manager import FunctionPass, Pass, register_pass
+
+
+def _replace(op: Operation, new_ops: List[Operation], results=None) -> None:
+    block = op.parent
+    for new_op in new_ops:
+        block.insert_before(op, new_op)
+    if results is None:
+        results = list(new_ops[-1].results) if new_ops else []
+    if op.results:
+        op.replace_all_uses_with(results)
+    op.erase(check_uses=False)
+
+
+@register_pass
+class ConvertArithToLLVMPass(FunctionPass):
+    NAME = "convert-arith-to-llvm"
+
+    def run_on_function(self, func: Operation) -> None:
+        for op in list(func.walk()):
+            if op.parent is None or op.dialect != "arith":
+                continue
+            name = op.name
+            if name in _ARITH_TO_LLVM:
+                result_types = [_llvm_type(r.type) for r in op.results]
+                new = create_operation(_ARITH_TO_LLVM[name], operands=list(op.operands),
+                                       result_types=result_types,
+                                       attributes=dict(op.attributes))
+                _replace(op, [new])
+            elif name == "arith.constant":
+                _replace(op, [llvm.ConstantOp(op.attributes["value"],
+                                              _llvm_type(op.results[0].type))])
+            elif name == "arith.cmpi":
+                _replace(op, [llvm.ICmpOp(op.attributes["predicate"].value,
+                                          op.operands[0], op.operands[1])])
+            elif name == "arith.cmpf":
+                _replace(op, [llvm.FCmpOp(op.attributes["predicate"].value,
+                                          op.operands[0], op.operands[1])])
+            elif name == "arith.index_cast":
+                _replace(op, [], results=[op.operands[0]])
+            elif name in ("arith.maximumf", "arith.minimumf", "arith.maxsi",
+                          "arith.minsi"):
+                pred = {"arith.maximumf": "ogt", "arith.minimumf": "olt",
+                        "arith.maxsi": "sgt", "arith.minsi": "slt"}[name]
+                cmp_cls = llvm.FCmpOp if name.endswith("f") else llvm.ICmpOp
+                cmp = cmp_cls(pred, op.operands[0], op.operands[1])
+                sel = llvm.SelectOp(cmp.results[0], op.operands[0], op.operands[1])
+                _replace(op, [cmp, sel])
+
+
+@register_pass
+class ConvertMathToLLVMPass(FunctionPass):
+    NAME = "convert-math-to-llvm"
+
+    def run_on_function(self, func: Operation) -> None:
+        for op in list(func.walk()):
+            if op.parent is None or op.dialect != "math":
+                continue
+            if op.name == "math.fma":
+                _replace(op, [llvm.FMulAddOp(*op.operands)])
+                continue
+            symbol = _MATH_TO_LIBM.get(op.name, op.name.split(".")[1])
+            new = llvm.CallOp(symbol, list(op.operands),
+                              [_llvm_type(r.type) for r in op.results])
+            _replace(op, [new])
+
+
+@register_pass
+class ConvertCfToLLVMPass(FunctionPass):
+    NAME = "convert-cf-to-llvm"
+
+    def run_on_function(self, func: Operation) -> None:
+        for op in list(func.walk()):
+            if op.parent is None:
+                continue
+            if op.name == "cf.br":
+                _replace(op, [llvm.BrOp(op.successors[0], list(op.operands))])
+            elif op.name == "cf.cond_br":
+                n_attr = op.get_attr("num_true_operands")
+                n = n_attr.value if n_attr is not None else 0
+                _replace(op, [llvm.CondBrOp(op.operands[0], op.successors[0],
+                                            op.successors[1],
+                                            list(op.operands[1:1 + n]),
+                                            list(op.operands[1 + n:]))])
+
+
+@register_pass
+class ConvertFuncToLLVMPass(FunctionPass):
+    NAME = "convert-func-to-llvm"
+
+    def run_on_function(self, func: Operation) -> None:
+        for op in list(func.walk()):
+            if op.parent is None:
+                continue
+            if op.name == "func.call":
+                new = llvm.CallOp(op.get_attr("callee").root, list(op.operands),
+                                  [_llvm_type(r.type) for r in op.results])
+                _replace(op, [new])
+            elif op.name == "func.return":
+                _replace(op, [llvm.ReturnOp(list(op.operands))])
+        func.set_attr("llvm.converted", IntegerAttr(1))
+
+
+@register_pass
+class FinalizeMemrefToLLVMPass(FunctionPass):
+    """``finalize-memref-to-llvm``: memrefs become pointers + explicit address
+    arithmetic (GEP)."""
+
+    NAME = "finalize-memref-to-llvm"
+
+    def run_on_function(self, func: Operation) -> None:
+        for op in list(func.walk()):
+            if op.parent is None or op.dialect != "memref":
+                continue
+            name = op.name
+            if name in ("memref.alloca", "memref.alloc"):
+                mtype = op.results[0].type
+                ops: List[Operation] = []
+                if op.operands:
+                    size: Value = op.operands[0]
+                    for extra in op.operands[1:]:
+                        mul = llvm.MulOp(size, extra)
+                        ops.append(mul)
+                        size = mul.results[0]
+                else:
+                    elements = mtype.num_elements() or 1
+                    const = llvm.ConstantOp(IntegerAttr(elements, ir_types.i64),
+                                            ir_types.i64)
+                    ops.append(const)
+                    size = const.results[0]
+                if name == "memref.alloca":
+                    ops.append(llvm.AllocaOp(size, _llvm_type(mtype.element_type)))
+                else:
+                    ops.append(llvm.CallOp("malloc", [size], [llvm.ptr]))
+                _replace(op, ops)
+            elif name == "memref.dealloc":
+                _replace(op, [llvm.CallOp("free", list(op.operands), [])])
+            elif name == "memref.load":
+                gep = llvm.GEPOp(op.operands[0], list(op.operands[1:]),
+                                 _llvm_type(op.results[0].type))
+                load = llvm.LoadOp(gep.results[0], _llvm_type(op.results[0].type))
+                _replace(op, [gep, load])
+            elif name == "memref.store":
+                gep = llvm.GEPOp(op.operands[1], list(op.operands[2:]),
+                                 _llvm_type(op.operands[0].type))
+                store = llvm.StoreOp(op.operands[0], gep.results[0])
+                _replace(op, [gep, store])
+            elif name == "memref.dim":
+                const = llvm.ConstantOp(IntegerAttr(0, ir_types.i64), ir_types.i64)
+                _replace(op, [const])
+            elif name == "memref.subview":
+                _replace(op, [], results=[op.operands[0]])
+            elif name == "memref.cast":
+                _replace(op, [], results=[op.operands[0]])
+            elif name == "memref.copy":
+                _replace(op, [llvm.CallOp("memcpy", list(op.operands), [])])
+            elif name == "memref.get_global":
+                _replace(op, [llvm.AddressOfOp(op.get_attr("name").value)])
+            elif name == "memref.global":
+                _replace(op, [llvm.GlobalOp(op.get_attr("sym_name").value,
+                                            llvm.ptr,
+                                            value=op.get_attr("initial_value"))])
+
+
+@register_pass
+class ConvertVectorToLLVMPass(FunctionPass):
+    """``convert-vector-to-llvm{enable-x86vector}``: vector ops become LLVM
+    vector intrinsics (represented as llvm dialect ops carrying the vector
+    types)."""
+
+    NAME = "convert-vector-to-llvm"
+
+    def run_on_function(self, func: Operation) -> None:
+        for op in list(func.walk()):
+            if op.parent is None or op.dialect != "vector":
+                continue
+            if op.name == "vector.load":
+                gep = llvm.GEPOp(op.operands[0], list(op.operands[1:]),
+                                 op.results[0].type)
+                load = llvm.LoadOp(gep.results[0], op.results[0].type)
+                _replace(op, [gep, load])
+            elif op.name == "vector.store":
+                gep = llvm.GEPOp(op.operands[1], list(op.operands[2:]),
+                                 op.operands[0].type)
+                store = llvm.StoreOp(op.operands[0], gep.results[0])
+                _replace(op, [gep, store])
+            elif op.name in ("vector.broadcast", "vector.splat"):
+                undef = llvm.UndefOp(op.results[0].type)
+                ins = llvm.InsertValueOp(undef.results[0], op.operands[0], [0])
+                _replace(op, [undef, ins])
+            elif op.name == "vector.fma":
+                _replace(op, [llvm.FMulAddOp(*op.operands)])
+            elif op.name == "vector.reduction":
+                call = llvm.CallOp(f"llvm.vector.reduce.{op.get_attr('kind').value}",
+                                   list(op.operands),
+                                   [op.results[0].type])
+                _replace(op, [call])
+            elif op.name in ("vector.extractelement", "vector.insertelement"):
+                new = llvm.ExtractValueOp(op.operands[0], [0], op.results[0].type) \
+                    if op.name == "vector.extractelement" else \
+                    llvm.InsertValueOp(op.operands[1], op.operands[0], [0])
+                _replace(op, [new])
+
+
+__all__ = [
+    "ConvertArithToLLVMPass", "ConvertMathToLLVMPass", "ConvertCfToLLVMPass",
+    "ConvertFuncToLLVMPass", "FinalizeMemrefToLLVMPass",
+    "ConvertVectorToLLVMPass",
+]

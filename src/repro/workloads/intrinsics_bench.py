@@ -1,0 +1,131 @@
+"""Fortran intrinsic benchmarks of Table III (transpose, matmul, dot_product,
+sum) — linalg-dialect lowering (our flow) vs Fortran runtime library (Flang).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .base import Workload
+
+_TRANSPOSE = """
+program bench_transpose
+  implicit none
+  integer, parameter :: n = {n}
+  integer, dimension(:,:), allocatable :: a, b
+  integer :: i, j
+  real(kind=8) :: total
+  allocate(a(n, n), b(n, n))
+  do j = 1, n
+    do i = 1, n
+      a(i, j) = i + j * 3
+    end do
+  end do
+  b = transpose(a)
+  total = 0.0d0
+  do j = 1, n
+    do i = 1, n
+      total = total + real(b(i, j), 8)
+    end do
+  end do
+  print *, total
+end program bench_transpose
+"""
+
+_MATMUL = """
+program bench_matmul
+  implicit none
+  integer, parameter :: n = {n}
+  real(kind=8), dimension(:,:), allocatable :: a, b, c
+  integer :: i, j
+  real(kind=8) :: total
+  allocate(a(n, n), b(n, n), c(n, n))
+  do j = 1, n
+    do i = 1, n
+      a(i, j) = 1.0d0 / real(i + j, 8)
+      b(i, j) = real(i - j, 8) * 0.01d0
+      c(i, j) = 0.0d0
+    end do
+  end do
+  c = matmul(a, b)
+  total = sum(c)
+  print *, total
+end program bench_matmul
+"""
+
+_DOTPRODUCT = """
+program bench_dotproduct
+  implicit none
+  integer, parameter :: n = {n}
+  real(kind=8), dimension(:), allocatable :: x, y
+  real(kind=8) :: total
+  integer :: i
+  allocate(x(n), y(n))
+  do i = 1, n
+    x(i) = real(i, 8) * 1.0d-6
+    y(i) = 1.0d0 / real(i, 8)
+  end do
+  total = dot_product(x, y)
+  print *, total
+end program bench_dotproduct
+"""
+
+_SUM = """
+program bench_sum
+  implicit none
+  integer, parameter :: n = {n}
+  real(kind=8), dimension(:,:), allocatable :: a
+  real(kind=8) :: total
+  integer :: i, j
+  allocate(a(n, n))
+  do j = 1, n
+    do i = 1, n
+      a(i, j) = real(i, 8) * 1.0d-3 + real(j, 8)
+    end do
+  end do
+  total = sum(a)
+  print *, total
+end program bench_sum
+"""
+
+
+def intrinsic_workloads() -> List[Workload]:
+    """Table III: transpose 32768^2 (integer), matmul 4096^2 (double),
+    dot_product on 134M elements, sum over 32768^2 doubles."""
+    return [
+        Workload(
+            name="transpose", category="intrinsic",
+            description="TRANSPOSE of a 32768x32768 integer array",
+            source_template=_TRANSPOSE,
+            paper_params={"n": 32768}, interp_params={"n": 32},
+            work_model=lambda p: float(p["n"]) ** 2,
+            memory_model=lambda p: 2 * 4.0 * p["n"] ** 2,
+            parallel_fraction=0.98),
+        Workload(
+            name="matmul", category="intrinsic",
+            description="MATMUL of 4096x4096 double precision matrices",
+            source_template=_MATMUL,
+            paper_params={"n": 4096}, interp_params={"n": 24},
+            work_model=lambda p: float(p["n"]) ** 3,
+            memory_model=lambda p: 3 * 8.0 * p["n"] ** 2,
+            parallel_fraction=0.99),
+        Workload(
+            name="dotproduct", category="intrinsic",
+            description="DOT_PRODUCT of 134 million element double vectors",
+            source_template=_DOTPRODUCT,
+            paper_params={"n": 134_000_000}, interp_params={"n": 512},
+            work_model=lambda p: float(p["n"]),
+            memory_model=lambda p: 2 * 8.0 * p["n"],
+            parallel_fraction=0.98),
+        Workload(
+            name="sum", category="intrinsic",
+            description="SUM over a 32768x32768 double precision array",
+            source_template=_SUM,
+            paper_params={"n": 32768}, interp_params={"n": 48},
+            work_model=lambda p: float(p["n"]) ** 2,
+            memory_model=lambda p: 8.0 * p["n"] ** 2,
+            parallel_fraction=0.98),
+    ]
+
+
+__all__ = ["intrinsic_workloads"]

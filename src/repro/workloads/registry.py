@@ -1,0 +1,55 @@
+"""Central registry of every workload used in the experiments."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from .base import Workload
+from .intrinsics_bench import intrinsic_workloads
+from .polyhedron import polyhedron_workloads
+from .stencils import jacobi, pw_advection, tra_adv
+
+#: Benchmarks of Table II (the subset re-evaluated with our approach).
+TABLE2_BENCHMARKS = ("ac", "linpk", "nf", "test_fpu", "tfft", "jacobi",
+                     "pw-advection", "tra-adv")
+
+
+def all_workloads() -> List[Workload]:
+    return polyhedron_workloads() + [jacobi(), pw_advection(), tra_adv()] + \
+        intrinsic_workloads()
+
+
+def table1_workloads() -> List[Workload]:
+    """The 20 benchmarks of Table I (Polyhedron + the three stencils)."""
+    return polyhedron_workloads() + [jacobi(), pw_advection(), tra_adv()]
+
+
+def table2_workloads() -> List[Workload]:
+    return [w for w in table1_workloads() if w.name in TABLE2_BENCHMARKS]
+
+
+def table3_workloads() -> List[Workload]:
+    return intrinsic_workloads()
+
+
+def get_workload(name: str, **kwargs) -> Workload:
+    """Look up a workload by name (OpenMP/OpenACC variants for the stencils)."""
+    specials = {
+        "jacobi": jacobi,
+        "pw-advection": pw_advection,
+        "tra-adv": tra_adv,
+    }
+    if name in specials and kwargs:
+        return specials[name](**kwargs)
+    for workload in all_workloads():
+        if workload.name == name:
+            return workload
+    raise KeyError(f"unknown workload '{name}'")
+
+
+WORKLOAD_INDEX: Dict[str, Workload] = {w.name: w for w in all_workloads()}
+
+
+__all__ = ["all_workloads", "table1_workloads", "table2_workloads",
+           "table3_workloads", "get_workload", "WORKLOAD_INDEX",
+           "TABLE2_BENCHMARKS"]

@@ -1,0 +1,237 @@
+"""The three HPC stencil benchmarks added by the paper (Section III).
+
+* ``jacobi`` — Jacobi iteration solving Laplace's equation on a 1024x1024
+  grid for 100000 iterations;
+* ``pw-advection`` — the Piacsek-Williams advection scheme from the Met
+  Office MONC model, three fields on a 2048x1024x1024 grid;
+* ``tra-adv`` — the NEMO ocean-model tracer advection kernel, six fields on a
+  1024x512x512 grid over 20 iterations.
+
+The kernels below are reduced re-implementations of the published benchmark
+codes, written in the supported Fortran subset; grid sizes and iteration
+counts are template parameters so the same source serves both the
+paper-scale work model and the reduced interpreted runs.
+"""
+
+from __future__ import annotations
+
+from .base import Workload
+
+_JACOBI_TEMPLATE = """
+program jacobi
+  implicit none
+  integer, parameter :: n = {n}
+  integer, parameter :: niters = {iters}
+  real(kind=8), dimension(:,:), allocatable :: u, unew
+  real(kind=8) :: norm
+  integer :: i, j, it
+  allocate(u(n, n), unew(n, n))
+  do j = 1, n
+    do i = 1, n
+      u(i, j) = 0.0d0
+      unew(i, j) = 0.0d0
+    end do
+  end do
+  do i = 1, n
+    u(i, 1) = 1.0d0
+    u(i, n) = 1.0d0
+  end do
+  do it = 1, niters
+{omp_pragma}
+    do j = 2, n - 1
+      do i = 2, n - 1
+        unew(i, j) = 0.25d0 * (u(i - 1, j) + u(i + 1, j) + u(i, j - 1) + u(i, j + 1))
+      end do
+    end do
+{omp_pragma}
+    do j = 2, n - 1
+      do i = 2, n - 1
+        u(i, j) = unew(i, j)
+      end do
+    end do
+  end do
+  norm = 0.0d0
+  do j = 1, n
+    do i = 1, n
+      norm = norm + u(i, j) * u(i, j)
+    end do
+  end do
+  print *, norm
+end program jacobi
+"""
+
+_PW_ADVECTION_TEMPLATE = """
+program pw_advection
+  implicit none
+  integer, parameter :: nx = {nx}
+  integer, parameter :: ny = {ny}
+  integer, parameter :: nz = {nz}
+  real(kind=8), dimension(:,:,:), allocatable :: u, v, w
+  real(kind=8), dimension(:,:,:), allocatable :: su, sv, sw
+  real(kind=8) :: tcx, tcy, tcz, checksum
+  integer :: i, j, k
+  allocate(u(nz, ny, nx), v(nz, ny, nx), w(nz, ny, nx))
+  allocate(su(nz, ny, nx), sv(nz, ny, nx), sw(nz, ny, nx))
+  tcx = 0.5d0
+  tcy = 0.25d0
+  tcz = 0.125d0
+  do i = 1, nx
+    do j = 1, ny
+      do k = 1, nz
+        u(k, j, i) = real(k + j + i, 8) * 0.001d0
+        v(k, j, i) = real(k + 2 * j, 8) * 0.001d0
+        w(k, j, i) = real(k, 8) * 0.002d0
+        su(k, j, i) = 0.0d0
+        sv(k, j, i) = 0.0d0
+        sw(k, j, i) = 0.0d0
+      end do
+    end do
+  end do
+{acc_open}{omp_pragma}
+  do i = 2, nx - 1
+    do j = 2, ny - 1
+      do k = 2, nz - 1
+        su(k, j, i) = tcx * (u(k, j, i - 1) * (u(k, j, i) + u(k, j, i - 1)) - u(k, j, i) * (u(k, j, i + 1) + u(k, j, i))) &
+                    + tcy * (u(k, j - 1, i) * (v(k, j, i) + v(k, j - 1, i)) - u(k, j, i) * (v(k, j + 1, i) + v(k, j, i))) &
+                    + tcz * (u(k - 1, j, i) * (w(k, j, i) + w(k - 1, j, i)) - u(k, j, i) * (w(k + 1, j, i) + w(k, j, i)))
+        sv(k, j, i) = tcx * (v(k, j, i - 1) * (u(k, j, i) + u(k, j, i - 1)) - v(k, j, i) * (u(k, j, i + 1) + u(k, j, i))) &
+                    + tcy * (v(k, j - 1, i) * (v(k, j, i) + v(k, j - 1, i)) - v(k, j, i) * (v(k, j + 1, i) + v(k, j, i)))
+        sw(k, j, i) = tcz * (w(k - 1, j, i) * (w(k, j, i) + w(k - 1, j, i)) - w(k, j, i) * (w(k + 1, j, i) + w(k, j, i))) &
+                    + tcx * (w(k, j, i - 1) * (u(k, j, i) + u(k, j, i - 1)) - w(k, j, i) * (u(k, j, i + 1) + u(k, j, i)))
+      end do
+    end do
+  end do
+{acc_close}
+  checksum = 0.0d0
+  do i = 1, nx
+    do j = 1, ny
+      do k = 1, nz
+        checksum = checksum + su(k, j, i) + sv(k, j, i) + sw(k, j, i)
+      end do
+    end do
+  end do
+  print *, checksum
+end program pw_advection
+"""
+
+_TRA_ADV_TEMPLATE = """
+program tra_adv
+  implicit none
+  integer, parameter :: nx = {nx}
+  integer, parameter :: ny = {ny}
+  integer, parameter :: nz = {nz}
+  integer, parameter :: niters = {iters}
+  real(kind=8), dimension(:,:,:), allocatable :: tsn, pun, pvn, pwn
+  real(kind=8), dimension(:,:,:), allocatable :: mydomain, zwx
+  real(kind=8) :: zbtr, ztra, checksum
+  integer :: ji, jj, jk, jt
+  allocate(tsn(nz, ny, nx), pun(nz, ny, nx), pvn(nz, ny, nx), pwn(nz, ny, nx))
+  allocate(mydomain(nz, ny, nx), zwx(nz, ny, nx))
+  do ji = 1, nx
+    do jj = 1, ny
+      do jk = 1, nz
+        tsn(jk, jj, ji) = real(jk + jj, 8) * 0.01d0
+        pun(jk, jj, ji) = real(ji, 8) * 0.005d0
+        pvn(jk, jj, ji) = real(jj, 8) * 0.005d0
+        pwn(jk, jj, ji) = real(jk, 8) * 0.005d0
+        mydomain(jk, jj, ji) = 0.0d0
+        zwx(jk, jj, ji) = 0.0d0
+      end do
+    end do
+  end do
+  zbtr = 1.0d0
+  do jt = 1, niters
+    do ji = 2, nx - 1
+      do jj = 2, ny - 1
+        do jk = 2, nz - 1
+          zwx(jk, jj, ji) = tsn(jk, jj, ji) * pun(jk, jj, ji) - tsn(jk, jj, ji - 1) * pun(jk, jj, ji - 1) &
+                          + tsn(jk, jj, ji) * pvn(jk, jj, ji) - tsn(jk, jj - 1, ji) * pvn(jk, jj - 1, ji) &
+                          + tsn(jk, jj, ji) * pwn(jk, jj, ji) - tsn(jk - 1, jj, ji) * pwn(jk - 1, jj, ji)
+        end do
+      end do
+    end do
+    do ji = 2, nx - 1
+      do jj = 2, ny - 1
+        do jk = 2, nz - 1
+          ztra = 0.0d0 - zbtr * zwx(jk, jj, ji)
+          mydomain(jk, jj, ji) = mydomain(jk, jj, ji) + ztra * 0.01d0
+        end do
+      end do
+    end do
+  end do
+  checksum = 0.0d0
+  do ji = 1, nx
+    do jj = 1, ny
+      do jk = 1, nz
+        checksum = checksum + mydomain(jk, jj, ji)
+      end do
+    end do
+  end do
+  print *, checksum
+end program tra_adv
+"""
+
+
+def _stencil_source(template: str, omp: bool = False, acc: bool = False) -> str:
+    omp_pragma = "!$omp parallel do" if omp else ""
+    acc_open = "!$acc kernels copyin(u, v, w) create(su, sv, sw)\n" if acc else ""
+    acc_close = "!$acc end kernels\n" if acc else ""
+    return template.replace("{omp_pragma}", omp_pragma) \
+                   .replace("{acc_open}", acc_open) \
+                   .replace("{acc_close}", acc_close)
+
+
+def jacobi(openmp: bool = False) -> Workload:
+    return Workload(
+        name="jacobi",
+        category="stencil",
+        description="Jacobi iteration solving Laplace's equation (1024^2, 100k iters)",
+        source_template=_stencil_source(_JACOBI_TEMPLATE, omp=openmp),
+        paper_params={"n": 1024, "iters": 100000},
+        interp_params={"n": 26, "iters": 3},
+        work_model=lambda p: float(p["n"] - 2) ** 2 * p["iters"],
+        memory_model=lambda p: 2 * 8.0 * p["n"] ** 2,
+        uses_openmp=openmp,
+        parallel_fraction=0.995,
+    )
+
+
+def pw_advection(openmp: bool = False, openacc: bool = False,
+                 grid_cells: int = None) -> Workload:
+    paper = {"nx": 2048, "ny": 1024, "nz": 1024}
+    if grid_cells is not None:
+        # Table V sweeps the total number of grid cells on the GPU
+        nz = max(2, round((grid_cells / 2) ** (1.0 / 3.0)))
+        paper = {"nx": 2 * nz, "ny": nz, "nz": nz}
+    return Workload(
+        name="pw-advection",
+        category="stencil",
+        description="Piacsek-Williams advection from the MONC atmospheric model",
+        source_template=_stencil_source(_PW_ADVECTION_TEMPLATE, omp=openmp,
+                                        acc=openacc),
+        paper_params=paper,
+        interp_params={"nx": 10, "ny": 8, "nz": 8},
+        work_model=lambda p: float(p["nx"] - 2) * (p["ny"] - 2) * (p["nz"] - 2),
+        memory_model=lambda p: 6 * 8.0 * p["nx"] * p["ny"] * p["nz"],
+        uses_openmp=openmp,
+        uses_openacc=openacc,
+        parallel_fraction=0.97,
+    )
+
+
+def tra_adv(openmp: bool = False) -> Workload:
+    return Workload(
+        name="tra-adv",
+        category="stencil",
+        description="NEMO ocean model tracer advection benchmark",
+        source_template=_stencil_source(_TRA_ADV_TEMPLATE, omp=openmp),
+        paper_params={"nx": 1024, "ny": 512, "nz": 512, "iters": 20},
+        interp_params={"nx": 10, "ny": 8, "nz": 8, "iters": 2},
+        work_model=lambda p: float(p["nx"] - 2) * (p["ny"] - 2) * (p["nz"] - 2) * p["iters"],
+        memory_model=lambda p: 6 * 8.0 * p["nx"] * p["ny"] * p["nz"],
+        uses_openmp=openmp,
+        parallel_fraction=0.97,
+    )
+
+
+__all__ = ["jacobi", "pw_advection", "tra_adv"]

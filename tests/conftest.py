@@ -1,0 +1,95 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro.core import StandardMLIRCompiler, convert_fir_to_standard
+from repro.flang import FlangCompiler
+from repro.machine import Interpreter
+
+
+SIMPLE_PROGRAM = """
+program main
+  implicit none
+  integer, parameter :: n = 8
+  real(kind=8), dimension(n, n) :: a
+  real(kind=8), dimension(:), allocatable :: b
+  real(kind=8) :: total
+  integer :: i, j
+  allocate(b(n))
+  total = 0.0d0
+  do j = 1, n
+    do i = 1, n
+      a(i, j) = real(i + j, 8)
+    end do
+  end do
+  do i = 1, n
+    b(i) = a(i, 1) * 2.0d0
+    total = total + b(i)
+  end do
+  total = total + sum(a)
+  print *, total
+end program main
+"""
+
+CONDITIONAL_SUBROUTINE = """
+subroutine run_solver(i, out)
+  implicit none
+  integer, intent(in) :: i
+  integer, intent(out) :: out
+  if (i == 50) then
+    out = 1
+  else
+    out = 2
+  end if
+end subroutine run_solver
+
+program main
+  implicit none
+  integer :: r1, r2
+  call run_solver(50, r1)
+  call run_solver(7, r2)
+  print *, r1, r2
+end program main
+"""
+
+
+@pytest.fixture(scope="session")
+def flang_compiler():
+    return FlangCompiler()
+
+
+@pytest.fixture(scope="session")
+def standard_compiler():
+    return StandardMLIRCompiler(vector_width=4)
+
+
+@pytest.fixture(scope="session")
+def simple_program_source():
+    return SIMPLE_PROGRAM
+
+
+@pytest.fixture(scope="session")
+def conditional_source():
+    return CONDITIONAL_SUBROUTINE
+
+
+def run_flang(source: str):
+    """Compile with the baseline flow (FIR level) and interpret."""
+    result = FlangCompiler().compile(source, stop_at="fir")
+    interp = Interpreter(result.fir_module)
+    interp.run_main()
+    return interp
+
+
+def run_ours(source: str, **kwargs):
+    """Compile with the standard-MLIR flow and interpret the optimised IR."""
+    result = StandardMLIRCompiler(vector_width=kwargs.pop("vector_width", 4),
+                                  **kwargs).compile(source)
+    interp = Interpreter(result.optimised_module)
+    interp.run_main()
+    return interp
+
+
+def last_value(interp) -> float:
+    assert interp.printed, "program produced no output"
+    return float(interp.printed[-1].split()[-1])

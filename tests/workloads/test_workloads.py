@@ -1,0 +1,92 @@
+"""Integration tests: every workload compiles under both flows and the two
+flows agree numerically (the correctness gate behind all modeled results)."""
+
+import pytest
+
+from repro.workloads import (all_workloads, get_workload, table1_workloads,
+                             table2_workloads, table3_workloads)
+
+from ..conftest import last_value, run_flang, run_ours
+
+WORKLOADS = {w.name: w for w in all_workloads()}
+
+
+class TestRegistry:
+    def test_table1_has_twenty_benchmarks(self):
+        assert len(table1_workloads()) == 20
+
+    def test_table2_is_the_published_subset(self):
+        assert {w.name for w in table2_workloads()} == {
+            "ac", "linpk", "nf", "test_fpu", "tfft", "jacobi", "pw-advection",
+            "tra-adv"}
+
+    def test_table3_intrinsics(self):
+        assert {w.name for w in table3_workloads()} == {
+            "transpose", "matmul", "dotproduct", "sum"}
+
+    def test_paper_problem_sizes(self):
+        jacobi = get_workload("jacobi")
+        assert jacobi.paper_params == {"n": 1024, "iters": 100000}
+        pw = get_workload("pw-advection")
+        assert pw.paper_params == {"nx": 2048, "ny": 1024, "nz": 1024}
+        tra = get_workload("tra-adv")
+        assert tra.paper_params["iters"] == 20
+        assert get_workload("matmul").paper_params == {"n": 4096}
+
+    def test_work_ratio_scales_with_paper_size(self):
+        w = get_workload("jacobi")
+        assert w.work_ratio() > 1e5
+        assert w.scaling().working_set_bytes == pytest.approx(2 * 8 * 1024 ** 2)
+
+    def test_openmp_variant_sources_differ(self):
+        from repro.workloads import jacobi
+        assert "!$omp" in jacobi(openmp=True).source()
+        assert "!$omp" not in jacobi(openmp=False).source()
+
+    def test_gpu_grid_size_override(self):
+        from repro.workloads import pw_advection
+        w = pw_advection(openacc=True, grid_cells=134_000_000)
+        total = w.paper_params["nx"] * w.paper_params["ny"] * w.paper_params["nz"]
+        assert total == pytest.approx(134_000_000, rel=0.15)
+
+    def test_unknown_workload_raises(self):
+        with pytest.raises(KeyError):
+            get_workload("not-a-benchmark")
+
+
+@pytest.mark.parametrize("name", sorted(WORKLOADS))
+def test_flows_agree_numerically(name):
+    """For every benchmark the baseline Flang flow and the standard-MLIR flow
+    must produce identical results (within FP tolerance)."""
+    workload = WORKLOADS[name]
+    source = workload.source(scaled=True)
+    flang_value = last_value(run_flang(source))
+    ours_value = last_value(run_ours(source, gpu=workload.uses_openacc))
+    assert ours_value == pytest.approx(flang_value, rel=1e-9, abs=1e-9)
+
+
+@pytest.mark.parametrize("name", ["jacobi", "pw-advection", "tra-adv"])
+def test_stencils_vectorise_under_our_flow(name):
+    workload = WORKLOADS[name]
+    stats = run_ours(workload.source(scaled=True)).stats
+    assert stats.total("vector_load") + stats.total("vector_store") > 0
+
+
+@pytest.mark.parametrize("name", ["jacobi", "pw-advection", "tra-adv"])
+def test_flang_flow_is_scalar(name):
+    workload = WORKLOADS[name]
+    stats = run_flang(workload.source(scaled=True)).stats
+    assert stats.total("vector_float") == 0
+    assert stats.total("vector_load") == 0
+
+
+@pytest.mark.parametrize("name", ["transpose", "matmul", "dotproduct", "sum"])
+def test_intrinsics_use_runtime_in_flang_and_linalg_in_ours(name):
+    workload = WORKLOADS[name]
+    source = workload.source(scaled=True)
+    flang_stats = run_flang(source).stats
+    ours_stats = run_ours(source).stats
+    assert sum(flang_stats.runtime_calls.values()) > 0
+    assert flang_stats.total("runtime_elem") > 0
+    # our flow executes linalg-lowered loops instead of the runtime library
+    assert ours_stats.total("runtime_elem") == 0
