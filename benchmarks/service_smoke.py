@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Service smoke benchmark: one table cold and warm, wall-clock to JSON.
+
+Runs Table III through the compilation service against an empty persistent
+cache (cold) and again with a fresh service over the same store (warm),
+then writes the wall-clock numbers to ``BENCH_service.json`` so CI can
+track the performance trajectory.  Exits non-zero if the warm run
+recompiled anything or failed to beat the cold run.
+
+Usage: ``PYTHONPATH=src python benchmarks/service_smoke.py [output.json]``
+"""
+
+import json
+import platform
+import sys
+import tempfile
+import time
+from datetime import datetime, timezone
+
+from repro.service import ArtifactCache, CompileService, run_tables
+
+TABLES = ["table3", "figure3"]
+DEFAULT_OUTPUT = "BENCH_service.json"
+
+
+def timed_run(cache_dir: str, workers: int):
+    service = CompileService(ArtifactCache(cache_dir=cache_dir),
+                             max_workers=workers)
+    t0 = time.perf_counter()
+    result = run_tables(tables=TABLES, service=service)
+    elapsed = time.perf_counter() - t0
+    return elapsed, service, result
+
+
+def main() -> int:
+    output = sys.argv[1] if len(sys.argv) > 1 else DEFAULT_OUTPUT
+    with tempfile.TemporaryDirectory(prefix="repro-bench-") as cache_dir:
+        cold_s, cold_service, cold_result = timed_run(cache_dir, workers=2)
+        warm_s, warm_service, _ = timed_run(cache_dir, workers=2)
+
+    report = {
+        "benchmark": "service_smoke",
+        "tables": TABLES,
+        "timestamp": datetime.now(timezone.utc).isoformat(),
+        "python": platform.python_version(),
+        "cold_s": round(cold_s, 4),
+        "warm_s": round(warm_s, 4),
+        "speedup": round(cold_s / max(warm_s, 1e-9), 2),
+        "cold_recompilations": cold_service.recompilations,
+        "warm_recompilations": warm_service.recompilations,
+        "batch": cold_result["batch"].as_dict(),
+        "warm_counters": warm_service.counters(),
+    }
+    with open(output, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+    print(json.dumps(report, indent=2))
+
+    if warm_service.recompilations != 0:
+        print("FAIL: warm run recompiled", warm_service.recompilations,
+              "artifacts", file=sys.stderr)
+        return 1
+    if warm_s >= cold_s:
+        print("FAIL: warm run was not faster than cold", file=sys.stderr)
+        return 1
+    print(f"OK: warm {warm_s:.2f}s vs cold {cold_s:.2f}s "
+          f"({report['speedup']}x), zero warm recompilations")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

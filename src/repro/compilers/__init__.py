@@ -19,13 +19,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
-from ..core import StandardMLIRCompiler
-from ..flang import FlangCompiler
 from ..machine import (ARCHER2, CIRRUS_V100, CRAY_PROFILE, FLANG_V17_PROFILE,
                        FLANG_V20_PROFILE, GNU_PROFILE, NVFORTRAN_PROFILE,
                        OURS_PROFILE, CompilerProfile, ExecutionStats,
-                       Interpreter, PerformanceModel, profile_stats)
+                       PerformanceModel, profile_stats)
 from ..machine.perf import RuntimeBreakdown
+from ..service import CompileJob, get_default_service
 from ..workloads import Workload
 
 
@@ -47,21 +46,17 @@ class Measurement:
         return not self.compiled
 
 
-class _StatsCache:
-    """Caches (compile + interpret) per workload and flow, so that several
-    compiler columns can share one structural execution."""
+def _run_through_service(job: CompileJob) -> Tuple[ExecutionStats, Tuple[str, ...]]:
+    """Execute a job via the process-wide compilation service.
 
-    def __init__(self):
-        self._cache: Dict[Tuple, Tuple[ExecutionStats, Tuple[str, ...]]] = {}
-
-    def get(self, key):
-        return self._cache.get(key)
-
-    def put(self, key, value):
-        self._cache[key] = value
-
-
-_CACHE = _StatsCache()
+    The service's content-addressed cache replaces the old per-adapter
+    ``_StatsCache``: identical (workload, flow, options) executions are
+    shared across adapter instances, across tables and — with a persistent
+    cache directory — across process invocations.
+    """
+    artifact = get_default_service().execute(job)
+    artifact.raise_for_failure()
+    return artifact.stats, artifact.printed
 
 
 class CompilerAdapter:
@@ -110,22 +105,9 @@ class FlangV20Adapter(CompilerAdapter):
 
     def execute(self, workload: Workload, threads: int = 1, gpu: bool = False,
                 **_):
-        key = ("flang", workload.name, workload.uses_openmp, threads > 1, gpu)
-        cached = _CACHE.get(key)
-        if cached is not None:
-            return cached
-        if gpu or workload.uses_openacc:
-            # Section VI-C: Flang v18 ICEs on OpenACC lowering
-            from ..flang.codegen import FlangCodegenError
-            raise FlangCodegenError(
-                "missing LLVMTranslationDialectInterface for the acc dialect")
-        compiler = FlangCompiler()
-        result = compiler.compile(workload.source(scaled=True), stop_at="fir")
-        interpreter = Interpreter(result.fir_module)
-        interpreter.run_main()
-        value = (interpreter.stats, tuple(interpreter.printed))
-        _CACHE.put(key, value)
-        return value
+        return _run_through_service(
+            CompileJob("flang", workload.name, threads=threads, gpu=gpu,
+                       workload=workload))
 
 
 class FlangV17Adapter(FlangV20Adapter):
@@ -168,22 +150,10 @@ class OurApproachAdapter(CompilerAdapter):
 
     def execute(self, workload: Workload, threads: int = 1, gpu: bool = False,
                 **_):
-        key = ("ours", workload.name, workload.uses_openmp, threads > 1, gpu,
-               self.vector_width, self.tile, self.unroll)
-        cached = _CACHE.get(key)
-        if cached is not None:
-            return cached
-        compiler = StandardMLIRCompiler(
-            vector_width=self.vector_width,
-            parallelise=threads > 1 and not workload.uses_openmp,
-            gpu=gpu or workload.uses_openacc,
-            tile=self.tile, unroll=self.unroll)
-        result = compiler.compile(workload.source(scaled=True))
-        interpreter = Interpreter(result.optimised_module)
-        interpreter.run_main()
-        value = (interpreter.stats, tuple(interpreter.printed))
-        _CACHE.put(key, value)
-        return value
+        return _run_through_service(
+            CompileJob("ours", workload.name, threads=threads, gpu=gpu,
+                       vector_width=self.vector_width, tile=self.tile,
+                       unroll=self.unroll, workload=workload))
 
 
 class NvfortranAdapter(OurApproachAdapter):

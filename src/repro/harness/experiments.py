@@ -8,6 +8,7 @@ and where the crossovers are.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
@@ -15,9 +16,17 @@ from ..compilers import (CrayAdapter, FlangV17Adapter, FlangV20Adapter,
                          GnuAdapter, Measurement, NvfortranAdapter,
                          OurApproachAdapter)
 from ..machine import PerformanceModel, profile_stats
+from ..service import CompileService, use_service
+from ..service.tuning import (TABLE3_THREADED, TABLE3_THREADS,
+                              TABLE5_GRID_SIZES, table3_options)
 from ..workloads import (get_workload, jacobi, pw_advection, table1_workloads,
                          table2_workloads, table3_workloads)
 from . import paper_data
+
+
+def _service_scope(service: Optional[CompileService]):
+    """Route this table's measurements through ``service`` (default if None)."""
+    return use_service(service) if service is not None else nullcontext()
 
 
 @dataclass
@@ -50,7 +59,8 @@ class ExperimentTable:
 # ---------------------------------------------------------------------------
 
 
-def table1(benchmarks: Optional[Sequence[str]] = None) -> ExperimentTable:
+def table1(benchmarks: Optional[Sequence[str]] = None, *,
+           service: Optional[CompileService] = None) -> ExperimentTable:
     adapters = {
         "flang-v20": FlangV20Adapter(),
         "flang-v17": FlangV17Adapter(),
@@ -60,18 +70,19 @@ def table1(benchmarks: Optional[Sequence[str]] = None) -> ExperimentTable:
     table = ExperimentTable("table1",
                             "Runtime of the benchmarks for Flang v20/v17, Cray and GNU",
                             list(adapters))
-    for workload in table1_workloads():
-        if benchmarks is not None and workload.name not in benchmarks:
-            continue
-        measured = {}
-        for column, adapter in adapters.items():
-            if workload.name == "aermod" and column == "flang-v20":
-                # Table I reports DNC: Flang v20 failed to compile aermod
-                measured[column] = float("nan")
+    with _service_scope(service):
+        for workload in table1_workloads():
+            if benchmarks is not None and workload.name not in benchmarks:
                 continue
-            measured[column] = adapter.measure(workload).runtime_s
-        table.rows.append(ExperimentRow(workload.name, measured,
-                                        paper_data.TABLE1.get(workload.name, {})))
+            measured = {}
+            for column, adapter in adapters.items():
+                if workload.name == "aermod" and column == "flang-v20":
+                    # Table I reports DNC: Flang v20 failed to compile aermod
+                    measured[column] = float("nan")
+                    continue
+                measured[column] = adapter.measure(workload).runtime_s
+            table.rows.append(ExperimentRow(workload.name, measured,
+                                            paper_data.TABLE1.get(workload.name, {})))
     return table
 
 
@@ -80,7 +91,8 @@ def table1(benchmarks: Optional[Sequence[str]] = None) -> ExperimentTable:
 # ---------------------------------------------------------------------------
 
 
-def table2(benchmarks: Optional[Sequence[str]] = None) -> ExperimentTable:
+def table2(benchmarks: Optional[Sequence[str]] = None, *,
+           service: Optional[CompileService] = None) -> ExperimentTable:
     adapters = {
         "our-approach": OurApproachAdapter(),
         "flang-v20": FlangV20Adapter(),
@@ -90,12 +102,14 @@ def table2(benchmarks: Optional[Sequence[str]] = None) -> ExperimentTable:
     table = ExperimentTable("table2",
                             "Our approach against Flang v20, Cray and GNU",
                             list(adapters))
-    for workload in table2_workloads():
-        if benchmarks is not None and workload.name not in benchmarks:
-            continue
-        measured = {c: a.measure(workload).runtime_s for c, a in adapters.items()}
-        table.rows.append(ExperimentRow(workload.name, measured,
-                                        paper_data.TABLE2.get(workload.name, {})))
+    with _service_scope(service):
+        for workload in table2_workloads():
+            if benchmarks is not None and workload.name not in benchmarks:
+                continue
+            measured = {c: a.measure(workload).runtime_s
+                        for c, a in adapters.items()}
+            table.rows.append(ExperimentRow(workload.name, measured,
+                                            paper_data.TABLE2.get(workload.name, {})))
     return table
 
 
@@ -104,28 +118,30 @@ def table2(benchmarks: Optional[Sequence[str]] = None) -> ExperimentTable:
 # ---------------------------------------------------------------------------
 
 
-def table3(benchmarks: Optional[Sequence[str]] = None) -> ExperimentTable:
+def table3(benchmarks: Optional[Sequence[str]] = None, *,
+           service: Optional[CompileService] = None) -> ExperimentTable:
     table = ExperimentTable(
         "table3", "Fortran intrinsics: linalg dialect (ours) vs runtime library (Flang)",
         ["ours-serial", "ours-threaded", "flang-v20"])
     flang = FlangV20Adapter()
-    for workload in table3_workloads():
-        if benchmarks is not None and workload.name not in benchmarks:
-            continue
-        ours = OurApproachAdapter(tile=(workload.name == "matmul"),
-                                  unroll=4 if workload.name == "dotproduct" else 0)
-        measured = {
-            "ours-serial": ours.measure(workload).runtime_s,
-            "flang-v20": flang.measure(workload).runtime_s,
-        }
-        # the paper's simple scf.parallel conversion does not support
-        # reductions, so only transpose and matmul are threaded (64 cores)
-        if workload.name in ("transpose", "matmul"):
-            measured["ours-threaded"] = ours.measure(workload, threads=64).runtime_s
-        else:
-            measured["ours-threaded"] = float("nan")
-        table.rows.append(ExperimentRow(workload.name, measured,
-                                        paper_data.TABLE3.get(workload.name, {})))
+    with _service_scope(service):
+        for workload in table3_workloads():
+            if benchmarks is not None and workload.name not in benchmarks:
+                continue
+            ours = OurApproachAdapter(**table3_options(workload.name))
+            measured = {
+                "ours-serial": ours.measure(workload).runtime_s,
+                "flang-v20": flang.measure(workload).runtime_s,
+            }
+            # the paper's simple scf.parallel conversion does not support
+            # reductions, so only transpose and matmul are threaded (64 cores)
+            if workload.name in TABLE3_THREADED:
+                measured["ours-threaded"] = ours.measure(
+                    workload, threads=TABLE3_THREADS).runtime_s
+            else:
+                measured["ours-threaded"] = float("nan")
+            table.rows.append(ExperimentRow(workload.name, measured,
+                                            paper_data.TABLE3.get(workload.name, {})))
     return table
 
 
@@ -134,7 +150,8 @@ def table3(benchmarks: Optional[Sequence[str]] = None) -> ExperimentTable:
 # ---------------------------------------------------------------------------
 
 
-def table4(core_counts: Sequence[int] = (2, 4, 8, 16, 32, 64)) -> ExperimentTable:
+def table4(core_counts: Sequence[int] = (2, 4, 8, 16, 32, 64), *,
+           service: Optional[CompileService] = None) -> ExperimentTable:
     table = ExperimentTable("table4",
                             "OpenMP speed-up over serial for jacobi and pw-advection",
                             ["ours-jacobi", "ours-pw", "flang-jacobi", "flang-pw"])
@@ -142,23 +159,24 @@ def table4(core_counts: Sequence[int] = (2, 4, 8, 16, 32, 64)) -> ExperimentTabl
     flang = FlangV20Adapter()
     workloads = {"jacobi": jacobi(openmp=True),
                  "pw": pw_advection(openmp=True)}
-    serial = {
-        ("ours", key): ours.measure(w, threads=1).runtime_s
-        for key, w in workloads.items()
-    }
-    serial.update({
-        ("flang", key): flang.measure(w, threads=1).runtime_s
-        for key, w in workloads.items()
-    })
-    for cores in core_counts:
-        measured = {}
-        for key, w in workloads.items():
-            measured[f"ours-{key}"] = serial[("ours", key)] / \
-                ours.measure(w, threads=cores).runtime_s
-            measured[f"flang-{key}"] = serial[("flang", key)] / \
-                flang.measure(w, threads=cores).runtime_s
-        table.rows.append(ExperimentRow(str(cores), measured,
-                                        paper_data.TABLE4.get(cores, {})))
+    with _service_scope(service):
+        serial = {
+            ("ours", key): ours.measure(w, threads=1).runtime_s
+            for key, w in workloads.items()
+        }
+        serial.update({
+            ("flang", key): flang.measure(w, threads=1).runtime_s
+            for key, w in workloads.items()
+        })
+        for cores in core_counts:
+            measured = {}
+            for key, w in workloads.items():
+                measured[f"ours-{key}"] = serial[("ours", key)] / \
+                    ours.measure(w, threads=cores).runtime_s
+                measured[f"flang-{key}"] = serial[("flang", key)] / \
+                    flang.measure(w, threads=cores).runtime_s
+            table.rows.append(ExperimentRow(str(cores), measured,
+                                            paper_data.TABLE4.get(cores, {})))
     return table
 
 
@@ -167,21 +185,22 @@ def table4(core_counts: Sequence[int] = (2, 4, 8, 16, 32, 64)) -> ExperimentTabl
 # ---------------------------------------------------------------------------
 
 
-def table5(grid_sizes: Sequence[int] = (134_000_000, 268_000_000,
-                                        536_000_000, 1_100_000_000)) -> ExperimentTable:
+def table5(grid_sizes: Sequence[int] = TABLE5_GRID_SIZES, *,
+           service: Optional[CompileService] = None) -> ExperimentTable:
     table = ExperimentTable("table5",
                             "pw-advection with OpenACC on a V100: ours vs nvfortran",
                             ["our-approach", "nvfortran"])
     ours = OurApproachAdapter()
     nvf = NvfortranAdapter()
-    for cells in grid_sizes:
-        workload = pw_advection(openacc=True, grid_cells=cells)
-        measured = {
-            "our-approach": ours.measure(workload, gpu=True).runtime_s,
-            "nvfortran": nvf.measure(workload, gpu=True).runtime_s,
-        }
-        table.rows.append(ExperimentRow(f"{cells:,}", measured,
-                                        paper_data.TABLE5.get(cells, {})))
+    with _service_scope(service):
+        for cells in grid_sizes:
+            workload = pw_advection(openacc=True, grid_cells=cells)
+            measured = {
+                "our-approach": ours.measure(workload, gpu=True).runtime_s,
+                "nvfortran": nvf.measure(workload, gpu=True).runtime_s,
+            }
+            table.rows.append(ExperimentRow(f"{cells:,}", measured,
+                                            paper_data.TABLE5.get(cells, {})))
     return table
 
 
@@ -190,7 +209,8 @@ def table5(grid_sizes: Sequence[int] = (134_000_000, 268_000_000,
 # ---------------------------------------------------------------------------
 
 
-def figure3_vectorization(benchmark: str = "dotproduct") -> ExperimentTable:
+def figure3_vectorization(benchmark: str = "dotproduct", *,
+                          service: Optional[CompileService] = None) -> ExperimentTable:
     """Runtime of a kernel with and without the affine vectorisation pipeline
     of Figure 3 (and, for matmul, with/without affine tiling)."""
     workload = get_workload(benchmark)
@@ -200,11 +220,12 @@ def figure3_vectorization(benchmark: str = "dotproduct") -> ExperimentTable:
     scalar = OurApproachAdapter(vector_width=0)
     vectorised = OurApproachAdapter(vector_width=4)
     tiled = OurApproachAdapter(vector_width=4, tile=True)
-    measured = {
-        "scalar": scalar.measure(workload).runtime_s,
-        "vectorised": vectorised.measure(workload).runtime_s,
-        "tiled+vectorised": tiled.measure(workload).runtime_s,
-    }
+    with _service_scope(service):
+        measured = {
+            "scalar": scalar.measure(workload).runtime_s,
+            "vectorised": vectorised.measure(workload).runtime_s,
+            "tiled+vectorised": tiled.measure(workload).runtime_s,
+        }
     table.rows.append(ExperimentRow(benchmark, measured, {}))
     return table
 
@@ -214,16 +235,18 @@ def figure3_vectorization(benchmark: str = "dotproduct") -> ExperimentTable:
 # ---------------------------------------------------------------------------
 
 
-def section4_profile(benchmark: str = "tfft") -> Dict[str, Dict[str, float]]:
+def section4_profile(benchmark: str = "tfft", *,
+                     service: Optional[CompileService] = None) -> Dict[str, Dict[str, float]]:
     """Instruction-mix profile of a benchmark under both flows (Section IV)."""
     workload = get_workload(benchmark)
     flang = FlangV20Adapter()
     ours = OurApproachAdapter()
-    return {
-        "flang-v20": flang.instruction_mix(workload).as_dict(),
-        "our-approach": ours.instruction_mix(workload).as_dict(),
-        "paper": paper_data.SECTION4_PROFILES.get(benchmark, {}),
-    }
+    with _service_scope(service):
+        return {
+            "flang-v20": flang.instruction_mix(workload).as_dict(),
+            "our-approach": ours.instruction_mix(workload).as_dict(),
+            "paper": paper_data.SECTION4_PROFILES.get(benchmark, {}),
+        }
 
 
 __all__ = ["ExperimentRow", "ExperimentTable", "table1", "table2", "table3",

@@ -1,0 +1,71 @@
+"""Compilation service: persistent content-addressed cache + job scheduler.
+
+Every experiment measurement routes through one :class:`CompileService`
+(the *default service* of the process), so identical (workload, flow,
+options) executions are compiled and interpreted exactly once — across
+adapter instances, across tables, and (with a cache directory) across
+process invocations:
+
+* :mod:`repro.service.cache` — two-tier artifact cache (memory LRU + disk),
+* :mod:`repro.service.jobs` — compile jobs and their content-addressed keys,
+* :mod:`repro.service.scheduler` — cache-aware execution and parallel fanout,
+* :mod:`repro.service.tables` — batch API regenerating the paper's tables,
+* ``python -m repro.service run-tables`` — the CLI over the batch API.
+
+Set ``REPRO_CACHE_DIR`` to give the default service a persistent store.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+from .cache import ArtifactCache, CacheCounters
+from .jobs import (FLOWS, KEY_SCHEMA_VERSION, CompiledArtifact, CompileJob,
+                   ServiceError, execute_spec, run_job)
+from .scheduler import BatchReport, CompileService
+from .serialization import stats_from_dict, stats_to_dict
+from .tables import ALL_TABLES, enumerate_jobs, jobs_for, run_tables
+
+#: Environment variable pointing the default service at a persistent store.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+_default_service: Optional[CompileService] = None
+
+
+def get_default_service() -> CompileService:
+    """The process-wide service every compiler adapter routes through."""
+    global _default_service
+    if _default_service is None:
+        cache_dir = os.environ.get(CACHE_DIR_ENV) or None
+        _default_service = CompileService(ArtifactCache(cache_dir=cache_dir))
+    return _default_service
+
+
+def set_default_service(service: Optional[CompileService]) -> None:
+    """Replace the process-wide service (``None`` resets to lazy default)."""
+    global _default_service
+    _default_service = service
+
+
+@contextmanager
+def use_service(service: CompileService) -> Iterator[CompileService]:
+    """Temporarily install ``service`` as the default service."""
+    global _default_service
+    previous = _default_service
+    _default_service = service
+    try:
+        yield service
+    finally:
+        _default_service = previous
+
+
+__all__ = [
+    "ArtifactCache", "CacheCounters", "BatchReport", "CompileService",
+    "CompileJob", "CompiledArtifact", "ServiceError", "run_job",
+    "execute_spec", "stats_to_dict", "stats_from_dict", "KEY_SCHEMA_VERSION",
+    "FLOWS", "ALL_TABLES", "jobs_for", "enumerate_jobs", "run_tables",
+    "get_default_service", "set_default_service", "use_service",
+    "CACHE_DIR_ENV",
+]

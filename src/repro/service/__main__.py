@@ -1,0 +1,113 @@
+"""CLI for the compilation service.
+
+Examples::
+
+    # everything, 4 compile workers, persistent cache
+    python -m repro.service run-tables --jobs 4 --cache-dir .repro-cache
+
+    # one table, a representative subset, JSON summary on the side
+    python -m repro.service run-tables --tables table3 \
+        --benchmarks dotproduct sum --summary summary.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import List, Optional
+
+from .cache import ArtifactCache
+from .scheduler import CompileService
+from .tables import ALL_TABLES, run_tables
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service",
+        description="Run experiment flows through the compilation service.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser(
+        "run-tables",
+        help="regenerate the paper's tables through the cached service")
+    run.add_argument("--tables", nargs="+", choices=ALL_TABLES,
+                     default=list(ALL_TABLES),
+                     help="which flows to regenerate (default: all)")
+    run.add_argument("--benchmarks", nargs="+", default=None, metavar="NAME",
+                     help="restrict table1/2/3 rows to these benchmarks")
+    run.add_argument("--jobs", type=int, default=1, metavar="N",
+                     help="parallel compile workers for cache misses")
+    run.add_argument("--cache-dir", default=None, metavar="DIR",
+                     help="persistent artifact cache directory "
+                          "(default: in-memory only, or $REPRO_CACHE_DIR)")
+    run.add_argument("--summary", default=None, metavar="FILE",
+                     help="also write a JSON run summary to FILE")
+    run.add_argument("--quiet", action="store_true",
+                     help="suppress the formatted tables, print counters only")
+    return parser
+
+
+def _cmd_run_tables(args: argparse.Namespace) -> int:
+    from ..harness.reporting import format_table
+    from ..workloads import WORKLOAD_INDEX
+
+    unknown = [b for b in args.benchmarks or () if b not in WORKLOAD_INDEX]
+    if unknown:
+        print(f"error: unknown benchmark(s) {', '.join(unknown)} "
+              f"(choose from {', '.join(sorted(WORKLOAD_INDEX))})",
+              file=sys.stderr)
+        return 2
+
+    from . import CACHE_DIR_ENV
+    cache_dir = args.cache_dir or os.environ.get(CACHE_DIR_ENV) or None
+    service = CompileService(ArtifactCache(cache_dir=cache_dir),
+                             max_workers=args.jobs)
+    result = run_tables(tables=args.tables, service=service,
+                        max_workers=args.jobs, benchmarks=args.benchmarks)
+
+    if not args.quiet:
+        for name, table in result["tables"].items():
+            print(f"== {name} ==")
+            print(format_table(table))
+            print()
+
+    batch = result["batch"]
+    counters = result["counters"]
+    elapsed = result["elapsed_s"]
+    print(f"batch: {batch.submitted} jobs submitted, {batch.unique} unique, "
+          f"{batch.cache_hits} cache hits, {batch.executed} compiled "
+          f"({batch.pool_executed} in {batch.workers} workers)")
+    print(f"cache: {counters['hits']} hits "
+          f"({counters['memory_hits']} memory / {counters['disk_hits']} disk), "
+          f"{counters['misses']} misses, "
+          f"{counters['recompilations']} recompilations")
+    print(f"time:  batch {elapsed['batch']:.2f}s + tables "
+          f"{elapsed['tables']:.2f}s = {elapsed['total']:.2f}s")
+    for workload, error in batch.failures:
+        print(f"note: {workload} did not compile: {error}", file=sys.stderr)
+
+    if args.summary:
+        summary = {
+            "tables": {name: table.measured_matrix()
+                       for name, table in result["tables"].items()},
+            "batch": batch.as_dict(),
+            "counters": counters,
+            "elapsed_s": elapsed,
+        }
+        with open(args.summary, "w", encoding="utf-8") as fh:
+            json.dump(summary, fh, indent=2)
+        print(f"summary written to {args.summary}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "run-tables":
+        return _cmd_run_tables(args)
+    return 2  # pragma: no cover - argparse enforces the subcommand
+
+
+if __name__ == "__main__":
+    sys.exit(main())

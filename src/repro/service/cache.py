@@ -1,0 +1,160 @@
+"""Content-addressed artifact cache: in-memory LRU tier over a disk store.
+
+Artifacts are JSON payloads addressed by the SHA-256 of their job's key
+material (see :mod:`repro.service.jobs`).  The disk layout is
+
+    <cache_dir>/CACHE_FORMAT              format version marker
+    <cache_dir>/objects/<k[:2]>/<k>.json  one artifact per key
+
+Keys embed a schema salt (:data:`repro.service.jobs.KEY_SCHEMA_VERSION`),
+so bumping the salt invalidates every previously persisted artifact without
+touching the store; ``CACHE_FORMAT`` guards the on-disk *layout* instead.
+Corrupt or truncated entries are treated as misses and overwritten on the
+next store, so a killed run can never poison the cache.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from collections import OrderedDict
+from dataclasses import dataclass
+from pathlib import Path
+from threading import Lock
+from typing import Any, Dict, Optional
+
+#: On-disk layout version (distinct from the key schema salt).
+CACHE_FORMAT = 1
+
+#: Default size of the in-memory LRU tier (artifacts, not bytes).
+DEFAULT_MEMORY_ENTRIES = 1024
+
+
+@dataclass
+class CacheCounters:
+    """Hit/miss accounting, exposed unchanged on the service."""
+
+    memory_hits: int = 0
+    disk_hits: int = 0
+    misses: int = 0
+    stores: int = 0
+
+    @property
+    def hits(self) -> int:
+        return self.memory_hits + self.disk_hits
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    def as_dict(self) -> Dict[str, int]:
+        return {"memory_hits": self.memory_hits, "disk_hits": self.disk_hits,
+                "misses": self.misses, "stores": self.stores,
+                "hits": self.hits, "lookups": self.lookups}
+
+
+class ArtifactCache:
+    """Two-tier content-addressed cache.
+
+    ``cache_dir=None`` keeps the cache purely in memory (still shared across
+    every adapter instance in the process); with a directory, artifacts also
+    persist across process invocations.
+    """
+
+    def __init__(self, cache_dir: Optional[str] = None,
+                 memory_entries: int = DEFAULT_MEMORY_ENTRIES):
+        self._memory: "OrderedDict[str, Dict[str, Any]]" = OrderedDict()
+        self._memory_entries = max(0, memory_entries)
+        self._lock = Lock()
+        self.counters = CacheCounters()
+        self._dir: Optional[Path] = None
+        if cache_dir:
+            self._dir = Path(cache_dir).expanduser()
+            (self._dir / "objects").mkdir(parents=True, exist_ok=True)
+            marker = self._dir / "CACHE_FORMAT"
+            if not marker.exists():
+                marker.write_text(f"{CACHE_FORMAT}\n")
+
+    # ------------------------------------------------------------------ info
+    @property
+    def cache_dir(self) -> Optional[Path]:
+        return self._dir
+
+    @property
+    def persistent(self) -> bool:
+        return self._dir is not None
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._memory)
+
+    def _object_path(self, key: str) -> Path:
+        assert self._dir is not None
+        return self._dir / "objects" / key[:2] / f"{key}.json"
+
+    # ---------------------------------------------------------------- lookup
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        with self._lock:
+            payload = self._memory.get(key)
+            if payload is not None:
+                self._memory.move_to_end(key)
+                self.counters.memory_hits += 1
+                return payload
+        if self._dir is not None:
+            path = self._object_path(key)
+            try:
+                with path.open("r", encoding="utf-8") as fh:
+                    payload = json.load(fh)
+            except (OSError, ValueError):
+                payload = None
+            if payload is not None:
+                with self._lock:
+                    self.counters.disk_hits += 1
+                    self._promote(key, payload)
+                return payload
+        with self._lock:
+            self.counters.misses += 1
+        return None
+
+    def contains(self, key: str) -> bool:
+        with self._lock:
+            if key in self._memory:
+                return True
+        return self._dir is not None and self._object_path(key).exists()
+
+    # ----------------------------------------------------------------- store
+    def put(self, key: str, payload: Dict[str, Any]) -> None:
+        with self._lock:
+            self.counters.stores += 1
+            self._promote(key, payload)
+        if self._dir is not None:
+            path = self._object_path(key)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            # atomic publish: a concurrent reader sees the old file or the new
+            fd, tmp = tempfile.mkstemp(dir=str(path.parent), suffix=".tmp")
+            try:
+                with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                    json.dump(payload, fh)
+                os.replace(tmp, path)
+            except OSError:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+
+    def _promote(self, key: str, payload: Dict[str, Any]) -> None:
+        """Insert into the LRU tier (caller holds the lock)."""
+        self._memory[key] = payload
+        self._memory.move_to_end(key)
+        while len(self._memory) > self._memory_entries:
+            self._memory.popitem(last=False)
+
+    # ----------------------------------------------------------------- admin
+    def clear_memory(self) -> None:
+        with self._lock:
+            self._memory.clear()
+
+
+__all__ = ["ArtifactCache", "CacheCounters", "CACHE_FORMAT",
+           "DEFAULT_MEMORY_ENTRIES"]

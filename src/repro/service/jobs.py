@@ -1,0 +1,239 @@
+"""Compile jobs, content-addressed keys, and in-process job execution.
+
+A :class:`CompileJob` names everything that determines a compiled artifact:
+the workload (by registry name + variant kwargs, or an attached
+:class:`~repro.workloads.Workload` object), the compiler flow, the pipeline
+options and the execution parameters.  Its :meth:`~CompileJob.key` hashes
+that material — salted with :data:`KEY_SCHEMA_VERSION` — into the cache
+address, and :func:`run_job` performs the actual compile + interpret.
+
+``execute_spec`` is the process-pool entry point: it only ships the
+picklable spec dict across the process boundary and returns a JSON payload,
+never a live module or a raised exception (worker failures are encoded in
+the artifact so the scheduler can tell infrastructure errors apart from
+deterministic compilation failures).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
+from ..workloads import Workload
+from .serialization import stats_from_dict, stats_to_dict
+
+#: Salt mixed into every cache key.  Bump whenever the meaning of cached
+#: artifacts changes (interpreter counts, stats schema, pipeline semantics):
+#: every previously persisted artifact then simply stops matching.
+KEY_SCHEMA_VERSION = 1
+
+#: Known compiler flows.
+FLOWS = ("flang", "ours")
+
+
+class ServiceError(RuntimeError):
+    """Raised when a service-run compilation or interpretation failed."""
+
+
+@dataclass
+class CompileJob:
+    """One (workload x compiler flow x options) unit of work."""
+
+    flow: str
+    workload_name: str
+    workload_kwargs: Tuple[Tuple[str, Any], ...] = ()
+    vector_width: int = 4
+    tile: bool = False
+    unroll: int = 0
+    threads: int = 1
+    gpu: bool = False
+    #: Optional live workload; spares a registry lookup and lets callers run
+    #: non-registry workloads in-process.  Never crosses a process boundary.
+    workload: Optional[Workload] = field(default=None, repr=False, compare=False)
+    _key: Optional[str] = field(default=None, init=False, repr=False, compare=False)
+
+    # ------------------------------------------------------------ resolution
+    def resolve_workload(self) -> Workload:
+        if self.workload is not None:
+            return self.workload
+        from ..workloads import get_workload
+        self.workload = get_workload(self.workload_name,
+                                     **dict(self.workload_kwargs))
+        return self.workload
+
+    def spec(self) -> Dict[str, Any]:
+        """Picklable description, sufficient to re-run in another process."""
+        return {"flow": self.flow, "workload_name": self.workload_name,
+                "workload_kwargs": tuple(self.workload_kwargs),
+                "vector_width": self.vector_width, "tile": self.tile,
+                "unroll": self.unroll, "threads": self.threads,
+                "gpu": self.gpu}
+
+    @classmethod
+    def from_spec(cls, spec: Dict[str, Any]) -> "CompileJob":
+        spec = dict(spec)
+        spec["workload_kwargs"] = tuple(tuple(kv) for kv
+                                        in spec.get("workload_kwargs", ()))
+        return cls(**spec)
+
+    # ----------------------------------------------------------------- keys
+    def pipeline_options(self, workload: Workload) -> Dict[str, Any]:
+        """Options actually handed to the flow's pipeline.
+
+        The flang flow takes none, so jobs differing only in (say)
+        ``vector_width`` deduplicate to one flang artifact.
+        """
+        if self.flow != "ours":
+            return {}
+        return {
+            "vector_width": self.vector_width,
+            "tile": self.tile,
+            "unroll": self.unroll,
+            "parallelise": self.threads > 1 and not workload.uses_openmp,
+            "gpu": self.gpu or workload.uses_openacc,
+        }
+
+    def key_material(self) -> Dict[str, Any]:
+        workload = self.resolve_workload()
+        return {
+            "schema": KEY_SCHEMA_VERSION,
+            "flow": self.flow,
+            "workload": workload.identity(),
+            "pipeline": self.pipeline_options(workload),
+            # stats depend on *whether* execution is parallel/offloaded, not
+            # on the core count, so thread counts bucket to one artifact
+            "execution": {"parallel": self.threads > 1, "gpu": bool(self.gpu)},
+        }
+
+    def key(self) -> str:
+        if self._key is None:
+            blob = json.dumps(self.key_material(), sort_keys=True,
+                              separators=(",", ":"))
+            self._key = hashlib.sha256(blob.encode()).hexdigest()
+        return self._key
+
+    def safe_key(self) -> str:
+        """Like :meth:`key`, but unresolvable jobs get a spec-derived key
+        instead of raising — matching the failure artifact :func:`run_job`
+        produces for them."""
+        try:
+            return self.key()
+        except Exception:
+            return _unresolvable_key(self)
+
+
+@dataclass
+class CompiledArtifact:
+    """What the cache stores per key: stage IR text + stats + output."""
+
+    key: str
+    flow: str
+    workload: str
+    ok: bool
+    stats: Optional[Any] = None          # ExecutionStats when ok
+    printed: Tuple[str, ...] = ()
+    module_text: str = ""
+    error: str = ""
+    cached: bool = False                 # set by the service on cache hits
+
+    def to_payload(self) -> Dict[str, Any]:
+        return {
+            "key": self.key, "flow": self.flow, "workload": self.workload,
+            "ok": self.ok,
+            "stats": stats_to_dict(self.stats) if self.stats is not None else None,
+            "printed": list(self.printed),
+            "module_text": self.module_text,
+            "error": self.error,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, Any],
+                     cached: bool = False) -> "CompiledArtifact":
+        stats = payload.get("stats")
+        return cls(key=payload["key"], flow=payload["flow"],
+                   workload=payload["workload"], ok=payload["ok"],
+                   stats=stats_from_dict(stats) if stats is not None else None,
+                   printed=tuple(payload.get("printed", ())),
+                   module_text=payload.get("module_text", ""),
+                   error=payload.get("error", ""), cached=cached)
+
+    def raise_for_failure(self) -> None:
+        if not self.ok:
+            raise ServiceError(self.error)
+
+
+# --------------------------------------------------------------------------
+# execution
+# --------------------------------------------------------------------------
+
+
+def _unresolvable_key(job: CompileJob) -> str:
+    blob = json.dumps({"schema": KEY_SCHEMA_VERSION, "unresolvable": job.spec()},
+                      sort_keys=True, default=str)
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+def run_job(job: CompileJob) -> CompiledArtifact:
+    """Compile + interpret one job in this process.
+
+    Deterministic failures (e.g. the flang flow rejecting OpenACC) come back
+    as ``ok=False`` artifacts so they are cacheable; this function never
+    raises for them.
+    """
+    from ..ir.printer import print_op
+    from ..machine import Interpreter
+
+    try:
+        workload = job.resolve_workload()
+        key = job.key()
+    except Exception as exc:
+        # unresolvable spec (unknown registry name, bad kwargs): still an
+        # artifact, addressed by a spec-derived key so it is cacheable
+        return CompiledArtifact(key=_unresolvable_key(job), flow=job.flow,
+                                workload=job.workload_name, ok=False,
+                                error=f"{type(exc).__name__}: {exc}")
+    try:
+        if job.flow == "flang":
+            if job.gpu or workload.uses_openacc:
+                # Section VI-C: Flang v18 ICEs on OpenACC lowering
+                from ..flang import FlangCodegenError
+                raise FlangCodegenError(
+                    "missing LLVMTranslationDialectInterface for the acc dialect")
+            from ..flang import FlangCompiler
+            result = FlangCompiler().compile(workload.source(scaled=True),
+                                             stop_at="fir")
+            module = result.fir_module
+        elif job.flow == "ours":
+            from ..core import StandardMLIRCompiler
+            opts = job.pipeline_options(workload)
+            compiler = StandardMLIRCompiler(
+                vector_width=opts["vector_width"],
+                parallelise=opts["parallelise"], gpu=opts["gpu"],
+                tile=opts["tile"], unroll=opts["unroll"])
+            result = compiler.compile(workload.source(scaled=True))
+            module = result.optimised_module
+        else:
+            raise ValueError(f"unknown compiler flow {job.flow!r}")
+        module_text = print_op(module)
+        interpreter = Interpreter(module)
+        interpreter.run_main()
+        return CompiledArtifact(key=key, flow=job.flow, workload=workload.name,
+                                ok=True, stats=interpreter.stats,
+                                printed=tuple(interpreter.printed),
+                                module_text=module_text)
+    except Exception as exc:
+        return CompiledArtifact(key=key, flow=job.flow, workload=workload.name,
+                                ok=False,
+                                error=f"{type(exc).__name__}: {exc}")
+
+
+def execute_spec(spec: Dict[str, Any]) -> Tuple[str, Dict[str, Any]]:
+    """Process-pool worker: run a job spec, return ``(key, payload)``."""
+    artifact = run_job(CompileJob.from_spec(spec))
+    return artifact.key, artifact.to_payload()
+
+
+__all__ = ["CompileJob", "CompiledArtifact", "ServiceError", "run_job",
+           "execute_spec", "KEY_SCHEMA_VERSION", "FLOWS"]

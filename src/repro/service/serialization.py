@@ -1,0 +1,62 @@
+"""Bit-exact (de)serialization of execution statistics.
+
+The cost model consumes raw dynamic operation counts, so a cached
+:class:`~repro.machine.ExecutionStats` must survive the disk round trip
+*exactly*: Python serialises floats via ``repr`` (shortest round-tripping
+form), so JSON is loss-free for every finite count the interpreter can
+produce.  NumPy scalars are narrowed to the equivalent Python ``int`` /
+``float`` (a value-preserving conversion) before encoding.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from typing import Any, Dict
+
+import numpy as np
+
+from ..machine import ExecutionStats
+
+#: Scalar fields copied verbatim between ExecutionStats and its payload.
+_SCALAR_FIELDS = ("parallel_loop_iterations", "parallel_regions",
+                  "gpu_kernel_launches", "gpu_threads", "total_ops")
+
+
+def _scalar(value: Any):
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    return value
+
+
+def _counter_dict(counter: Counter) -> Dict[str, Any]:
+    return {str(k): _scalar(v) for k, v in counter.items()}
+
+
+def stats_to_dict(stats: ExecutionStats) -> Dict[str, Any]:
+    """Encode stats as a JSON-serialisable dict."""
+    payload: Dict[str, Any] = {
+        "counts": {ctx: _counter_dict(ctr) for ctx, ctr in stats.counts.items()},
+        "runtime_calls": _counter_dict(stats.runtime_calls),
+        "runtime_elements": _counter_dict(stats.runtime_elements),
+    }
+    for name in _SCALAR_FIELDS:
+        payload[name] = _scalar(getattr(stats, name))
+    return payload
+
+
+def stats_from_dict(payload: Dict[str, Any]) -> ExecutionStats:
+    """Rebuild stats from :func:`stats_to_dict` output."""
+    stats = ExecutionStats()
+    stats.counts = defaultdict(Counter)
+    for ctx, cats in payload["counts"].items():
+        stats.counts[ctx] = Counter(cats)
+    stats.runtime_calls = Counter(payload["runtime_calls"])
+    stats.runtime_elements = Counter(payload["runtime_elements"])
+    for name in _SCALAR_FIELDS:
+        setattr(stats, name, payload[name])
+    return stats
+
+
+__all__ = ["stats_to_dict", "stats_from_dict"]

@@ -1,0 +1,35 @@
+"""Per-benchmark pipeline tuning shared by the harness and the batch API.
+
+Kept in its own leaf module so both :mod:`repro.harness.experiments` (which
+builds adapters) and :mod:`repro.service.tables` (which enumerates jobs)
+derive identical cache keys from one source of truth.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+#: Table III pipeline options per intrinsic benchmark (paper Section VI-B:
+#: matmul is tiled, dotproduct is unrolled by 4).
+TABLE3_TUNING: Dict[str, Dict[str, Any]] = {
+    "matmul": {"tile": True},
+    "dotproduct": {"unroll": 4},
+}
+
+#: Table III rows that also run threaded: the paper's simple scf.parallel
+#: conversion does not support reductions, so only these two.
+TABLE3_THREADED = ("transpose", "matmul")
+
+#: Thread count used for the threaded Table III runs (64-core ARCHER2 node).
+TABLE3_THREADS = 64
+
+#: Default Table V grid-cell sweep.
+TABLE5_GRID_SIZES = (134_000_000, 268_000_000, 536_000_000, 1_100_000_000)
+
+
+def table3_options(benchmark: str) -> Dict[str, Any]:
+    return dict(TABLE3_TUNING.get(benchmark, {}))
+
+
+__all__ = ["TABLE3_TUNING", "TABLE3_THREADED", "TABLE3_THREADS",
+           "TABLE5_GRID_SIZES", "table3_options"]

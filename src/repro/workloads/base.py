@@ -8,6 +8,7 @@ runtimes (see DESIGN.md, "How runtime is produced").
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Optional
 
@@ -38,6 +39,30 @@ class Workload:
         if overrides:
             params.update(overrides)
         return self.source_template.format(**params)
+
+    def source_hash(self) -> str:
+        """SHA-256 of the interpreted (scaled) source actually compiled."""
+        return hashlib.sha256(self.source(scaled=True).encode()).hexdigest()
+
+    # ------------------------------------------------------------------ identity
+    def identity(self) -> Dict:
+        """Stable, JSON-serialisable identity used in service cache keys.
+
+        Two workloads with the same identity compile to the same artifact
+        *and* scale it identically, so paper/interp parameters participate
+        even though only the scaled source reaches the compiler.
+        """
+        return {
+            "name": self.name,
+            "category": self.category,
+            "paper_params": {k: self.paper_params[k]
+                             for k in sorted(self.paper_params)},
+            "interp_params": {k: self.interp_params[k]
+                              for k in sorted(self.interp_params)},
+            "uses_openmp": self.uses_openmp,
+            "uses_openacc": self.uses_openacc,
+            "source_sha256": self.source_hash(),
+        }
 
     # ------------------------------------------------------------------ scaling
     def work_ratio(self, overrides: Optional[Dict[str, int]] = None) -> float:

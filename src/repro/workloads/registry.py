@@ -41,10 +41,11 @@ def get_workload(name: str, **kwargs) -> Workload:
     }
     if name in specials and kwargs:
         return specials[name](**kwargs)
-    for workload in all_workloads():
-        if workload.name == name:
-            return workload
-    raise KeyError(f"unknown workload '{name}'")
+    try:
+        # the prebuilt index avoids re-instantiating every workload per lookup
+        return WORKLOAD_INDEX[name]
+    except KeyError:
+        raise KeyError(f"unknown workload '{name}'") from None
 
 
 WORKLOAD_INDEX: Dict[str, Workload] = {w.name: w for w in all_workloads()}

@@ -1,0 +1,91 @@
+"""Cache-key correctness: every input that changes the artifact changes the
+key, everything that doesn't deduplicates to one key."""
+
+import pytest
+
+from repro.service import CompileJob
+from repro.workloads import get_workload, jacobi, pw_advection
+
+
+def key(**kwargs):
+    kwargs.setdefault("flow", "ours")
+    kwargs.setdefault("workload_name", "dotproduct")
+    return CompileJob(**kwargs).key()
+
+
+class TestPipelineOptionKeys:
+    def test_identical_jobs_share_a_key(self):
+        assert key() == key()
+
+    @pytest.mark.parametrize("variant", [
+        {"vector_width": 0}, {"vector_width": 8}, {"tile": True},
+        {"unroll": 4}, {"threads": 64}, {"gpu": True}, {"flow": "flang"},
+    ])
+    def test_option_changes_change_the_key(self, variant):
+        assert key(**variant) != key()
+
+    def test_thread_counts_bucket_to_one_parallel_artifact(self):
+        # stats depend on parallel-vs-serial, not on the core count
+        assert key(threads=2) == key(threads=64)
+        assert key(threads=1) != key(threads=2)
+
+    def test_flang_flow_ignores_standard_pipeline_options(self):
+        # vector_width/tile/unroll never reach the flang pipeline, so jobs
+        # differing only there deduplicate to one flang artifact
+        assert key(flow="flang", vector_width=0) == key(flow="flang",
+                                                        vector_width=8)
+        assert key(flow="flang", tile=True) == key(flow="flang")
+
+
+class TestWorkloadVariantKeys:
+    def test_distinct_workloads_distinct_keys(self):
+        assert key(workload_name="sum") != key(workload_name="dotproduct")
+
+    def test_openmp_variant_changes_the_key(self):
+        base = CompileJob("ours", "jacobi", workload=jacobi()).key()
+        omp = CompileJob("ours", "jacobi",
+                         workload=jacobi(openmp=True)).key()
+        assert base != omp
+
+    def test_openacc_variant_changes_the_key(self):
+        base = CompileJob("ours", "pw-advection",
+                          workload=pw_advection()).key()
+        acc = CompileJob("ours", "pw-advection",
+                         workload=pw_advection(openacc=True)).key()
+        assert base != acc
+
+    def test_grid_cells_variant_changes_the_key(self):
+        small = CompileJob("ours", "pw-advection", gpu=True,
+                           workload=pw_advection(openacc=True,
+                                                 grid_cells=134_000_000)).key()
+        large = CompileJob("ours", "pw-advection", gpu=True,
+                           workload=pw_advection(openacc=True,
+                                                 grid_cells=536_000_000)).key()
+        assert small != large
+
+    def test_attached_and_registry_workloads_agree(self):
+        # the pool worker resolves the workload via the registry; the key it
+        # computes must match the key the submitting side computed
+        attached = CompileJob(
+            "ours", "jacobi", workload_kwargs=(("openmp", True),),
+            workload=jacobi(openmp=True)).key()
+        resolved = CompileJob(
+            "ours", "jacobi", workload_kwargs=(("openmp", True),)).key()
+        assert attached == resolved
+
+    def test_spec_round_trip_preserves_the_key(self):
+        job = CompileJob("ours", "pw-advection",
+                         workload_kwargs=(("openacc", True),
+                                          ("grid_cells", 134_000_000)),
+                         gpu=True, vector_width=8)
+        assert CompileJob.from_spec(job.spec()).key() == job.key()
+
+
+class TestKeyMaterial:
+    def test_material_names_schema_flow_and_source_hash(self):
+        material = CompileJob("ours", "dotproduct").key_material()
+        assert material["schema"] >= 1
+        assert material["flow"] == "ours"
+        assert material["workload"]["source_sha256"] == \
+            get_workload("dotproduct").source_hash()
+        assert material["pipeline"]["vector_width"] == 4

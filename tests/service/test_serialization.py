@@ -1,0 +1,71 @@
+"""ExecutionStats must survive the cache round trip bit-identically: the
+cost model consumes the raw counts, so any drift would move modeled
+runtimes."""
+
+import json
+from collections import Counter
+
+import numpy as np
+
+from repro.machine import ExecutionStats
+from repro.service import CompileJob, run_job, stats_from_dict, stats_to_dict
+
+
+def make_stats() -> ExecutionStats:
+    stats = ExecutionStats()
+    stats.bump("serial", "arith.addf", 3.0)
+    stats.bump("serial", "memref.load", 0.125)       # exact binary fraction
+    stats.bump("parallel", "arith.mulf", 1e-17)      # needs full precision
+    stats.bump("parallel", "vector.fma", 7)
+    stats.counts["gpu"]["gpu.launch"] = np.float64(2.5)
+    stats.counts["serial"]["affine.load"] = np.int64(41)
+    stats.parallel_loop_iterations = 1024
+    stats.parallel_regions = 3
+    stats.gpu_kernel_launches = 2
+    stats.gpu_threads = 65536
+    stats.runtime_calls = Counter({"_FortranASumReal8": 5})
+    stats.runtime_elements = Counter({"_FortranASumReal8": 4096})
+    return stats
+
+
+def assert_identical(a: ExecutionStats, b: ExecutionStats):
+    assert a.summary() == b.summary()
+    for ctx in a.counts:
+        for cat, value in a.counts[ctx].items():
+            assert repr(float(b.counts[ctx][cat])) == repr(float(value))
+    assert a.runtime_calls == b.runtime_calls
+    assert a.runtime_elements == b.runtime_elements
+    assert a.parallel_loop_iterations == b.parallel_loop_iterations
+    assert a.parallel_regions == b.parallel_regions
+    assert a.gpu_kernel_launches == b.gpu_kernel_launches
+    assert a.gpu_threads == b.gpu_threads
+    assert a.total_ops == b.total_ops
+
+
+class TestStatsRoundTrip:
+    def test_in_memory_round_trip(self):
+        stats = make_stats()
+        assert_identical(stats, stats_from_dict(stats_to_dict(stats)))
+
+    def test_json_text_round_trip(self):
+        stats = make_stats()
+        text = json.dumps(stats_to_dict(stats))
+        assert_identical(stats, stats_from_dict(json.loads(text)))
+
+    def test_round_trip_is_a_fixed_point(self):
+        payload = stats_to_dict(make_stats())
+        again = stats_to_dict(stats_from_dict(json.loads(json.dumps(payload))))
+        assert json.dumps(payload, sort_keys=True) == \
+            json.dumps(again, sort_keys=True)
+
+    def test_real_interpreter_stats_round_trip(self):
+        artifact = run_job(CompileJob("ours", "dotproduct"))
+        assert artifact.ok
+        restored = stats_from_dict(
+            json.loads(json.dumps(stats_to_dict(artifact.stats))))
+        assert_identical(artifact.stats, restored)
+
+    def test_restored_stats_keep_defaultdict_behaviour(self):
+        restored = stats_from_dict(stats_to_dict(make_stats()))
+        restored.bump("fresh-context", "arith.addf")   # must not raise
+        assert restored.counts["fresh-context"]["arith.addf"] == 1

@@ -90,3 +90,18 @@ def test_intrinsics_use_runtime_in_flang_and_linalg_in_ours(name):
     assert flang_stats.total("runtime_elem") > 0
     # our flow executes linalg-lowered loops instead of the runtime library
     assert ours_stats.total("runtime_elem") == 0
+
+
+def test_get_workload_uses_the_prebuilt_index():
+    from repro.workloads import WORKLOAD_INDEX, get_workload
+    # the no-kwargs path must not rebuild every workload per lookup
+    assert get_workload("jacobi") is WORKLOAD_INDEX["jacobi"]
+    assert get_workload("dotproduct") is WORKLOAD_INDEX["dotproduct"]
+
+
+def test_get_workload_variants_and_unknown_names():
+    from repro.workloads import get_workload
+    variant = get_workload("jacobi", openmp=True)
+    assert variant.uses_openmp and variant.name == "jacobi"
+    with pytest.raises(KeyError):
+        get_workload("no-such-workload")
