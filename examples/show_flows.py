@@ -1,16 +1,17 @@
 #!/usr/bin/env python3
-"""Figures 1-3: print the two compilation flows and the IR at each stage.
+"""Enumerate the registered compilation flows and print the IR at each stage.
 
-Machine-readable rendition of the paper's flow diagrams: the stages of the
-baseline Flang pipeline (Figure 1), the standard-MLIR pipeline (Figure 2),
-and the vectorisation pass pipeline (Figure 3), together with the IR of a
-tiny subroutine at every stage.
+Machine-readable rendition of the paper's flow diagrams: every flow in the
+:mod:`repro.flows` registry with its options schema and pipeline, the stages
+of the baseline Flang pipeline (Figure 1) and the standard-MLIR pipeline
+(Figure 2), and the vectorisation pass pipeline (Figure 3), together with
+the IR of a tiny subroutine at every stage.
 """
 
-from repro.core import StandardMLIRCompiler
 from repro.core.pipelines import BASE_PIPELINE, VECTORIZE_PIPELINE
-from repro.flang import FlangCompiler
+from repro.flows import ExecutionContext, available_flows, get_flow
 from repro.ir.printer import print_op
+from repro.workloads import get_workload
 
 SOURCE = """
 subroutine run_solver(i, x)
@@ -26,27 +27,44 @@ end subroutine run_solver
 """
 
 
+class _Source:
+    name = "run_solver"
+    uses_openmp = False
+    uses_openacc = False
+
+    def source(self, *, scaled=True, **_):
+        return SOURCE
+
+
 def main() -> None:
     print("=" * 70)
-    print("Figure 1 — Flang's existing flow")
+    print("Registered compilation flows (repro.flows)")
     print("=" * 70)
-    flang = FlangCompiler()
-    for step in flang.flow_description():
-        print("  ->", step)
-    result = flang.compile(SOURCE, stop_at="fir")
-    print("\n--- HLFIR + FIR (Listing 2) ---")
-    print(print_op(result.hlfir_module))
+    for name in available_flows():
+        flow = get_flow(name)
+        print(f"\n{name}")
+        print(f"  {flow.description}")
+        print(f"  options: {flow.schema.describe()}")
+        workload = get_workload("dotproduct")
+        options = flow.normalise_options({}, workload, ExecutionContext())
+        pipeline = flow.pipeline(options)
+        if pipeline is not None:
+            print(f"  pipeline: {pipeline.describe()}")
 
-    print("=" * 70)
-    print("Figure 2 — the standard MLIR flow of this paper")
-    print("=" * 70)
-    ours = StandardMLIRCompiler(vector_width=4)
-    for step in ours.flow_description():
-        print("  ->", step)
-    compiled = ours.compile(SOURCE)
-    print("\n--- standard dialects after the Section V transformation "
-          "(Listing 3) ---")
-    print(print_op(compiled.standard_module))
+    for name, figure in (("flang", "Figure 1 — Flang's existing flow"),
+                         ("ours", "Figure 2 — the standard MLIR flow "
+                                  "of this paper")):
+        print()
+        print("=" * 70)
+        print(figure)
+        print("=" * 70)
+        result = get_flow(name).run(_Source())
+        for stage in result.stage_names:
+            module = result.stage(stage)
+            if module is None:
+                continue
+            print(f"\n--- stage: {stage} ---")
+            print(print_op(module))
 
     print("=" * 70)
     print("Listing 1 — base mlir-opt pipeline")

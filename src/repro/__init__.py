@@ -6,10 +6,14 @@ Public entry points:
 * :class:`repro.flang.FlangCompiler` — the baseline Flang flow (Figure 1);
 * :class:`repro.core.StandardMLIRCompiler` — the paper's standard-MLIR flow
   (Figure 2, Section V/VI);
+* :mod:`repro.flows` — the flow registry making compilation flows
+  first-class, registered objects;
 * :mod:`repro.machine` — interpreter + machine models producing modeled
   runtimes;
 * :mod:`repro.workloads` and :mod:`repro.harness` — the benchmarks and the
-  experiments regenerating Tables I-V.
+  experiments regenerating Tables I-V;
+* ``python -m repro.opt`` — the mlir-opt analogue: run any flow or textual
+  pass pipeline over Fortran source, with timings and IR dumps.
 """
 
 __version__ = "1.0.0"

@@ -60,18 +60,32 @@ def _run_through_service(job: CompileJob) -> Tuple[ExecutionStats, Tuple[str, ..
 
 
 class CompilerAdapter:
-    """Base class: compile a workload, execute it, model its runtime."""
+    """Base class: compile a workload, execute it, model its runtime.
+
+    Compilation is dispatched entirely by flow *name* through the flow
+    registry (:mod:`repro.flows`): an adapter is just a (flow, options,
+    capability profile) triple, so measuring a newly registered flow needs
+    no subclass — ``CompilerAdapter(flow="my-flow", **options)`` works.
+    """
 
     name = "base"
     column = "base"
     profile: CompilerProfile = OURS_PROFILE
+    flow = "ours"
 
-    def __init__(self, perf_model: Optional[PerformanceModel] = None):
+    def __init__(self, perf_model: Optional[PerformanceModel] = None, *,
+                 flow: Optional[str] = None, **options):
         self.perf = perf_model or PerformanceModel()
+        if flow is not None:
+            self.flow = flow
+        self.options = options
 
-    # -- to be provided by subclasses ----------------------------------------------
-    def execute(self, workload: Workload, **options) -> Tuple[ExecutionStats, Tuple[str, ...]]:
-        raise NotImplementedError
+    # -- flow dispatch ---------------------------------------------------------------
+    def execute(self, workload: Workload, threads: int = 1, gpu: bool = False,
+                **_) -> Tuple[ExecutionStats, Tuple[str, ...]]:
+        return _run_through_service(
+            CompileJob(self.flow, workload.name, options=self.options,
+                       threads=threads, gpu=gpu, workload=workload))
 
     # -- shared measurement logic -----------------------------------------------------
     def measure(self, workload: Workload, *, threads: int = 1, gpu: bool = False,
@@ -102,12 +116,7 @@ class FlangV20Adapter(CompilerAdapter):
     name = "Flang v20"
     column = "flang-v20"
     profile = FLANG_V20_PROFILE
-
-    def execute(self, workload: Workload, threads: int = 1, gpu: bool = False,
-                **_):
-        return _run_through_service(
-            CompileJob("flang", workload.name, threads=threads, gpu=gpu,
-                       workload=workload))
+    flow = "flang"
 
 
 class FlangV17Adapter(FlangV20Adapter):
@@ -135,25 +144,16 @@ class GnuAdapter(FlangV20Adapter):
 
 
 class OurApproachAdapter(CompilerAdapter):
-    """The paper's flow: HLFIR/FIR -> standard MLIR -> optimised IR."""
+    """The paper's flow: HLFIR/FIR -> standard MLIR -> optimised IR.
+
+    Keyword arguments (``vector_width=8``, ``tile=True``, ...) become flow
+    options validated against the ``ours`` flow's options schema.
+    """
 
     name = "Our approach"
     column = "our-approach"
     profile = OURS_PROFILE
-
-    def __init__(self, perf_model: Optional[PerformanceModel] = None,
-                 vector_width: int = 4, tile: bool = False, unroll: int = 0):
-        super().__init__(perf_model)
-        self.vector_width = vector_width
-        self.tile = tile
-        self.unroll = unroll
-
-    def execute(self, workload: Workload, threads: int = 1, gpu: bool = False,
-                **_):
-        return _run_through_service(
-            CompileJob("ours", workload.name, threads=threads, gpu=gpu,
-                       vector_width=self.vector_width, tile=self.tile,
-                       unroll=self.unroll, workload=workload))
+    flow = "ours"
 
 
 class NvfortranAdapter(OurApproachAdapter):

@@ -5,35 +5,65 @@ HLFIR/FIR IR is intercepted and lowered to the standard MLIR dialects by the
 transformation of Section V, the standard optimisation passes (plus the
 paper's own passes) are applied, and the result is finally lowered to the
 ``llvm`` dialect by the existing MLIR conversions (Listing 1).
+
+The optimisation stage runs as ONE op-anchored nested pipeline
+(:func:`repro.core.pipelines.standard_flow_pipeline`), so a compilation
+yields a single :class:`~repro.ir.pass_manager.PassTimingReport` and can be
+instrumented pass-by-pass (``python -m repro.opt --timing --dump-ir``).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List, Optional, Sequence
 
 from ..dialects import dialects_used, uses_only_standard_dialects
 from ..dialects.builtin import ModuleOp
 from ..flang.driver import FlangCompiler
-from ..ir.pass_manager import PassManager
+from ..flows.base import FlowResult
+from ..ir.pass_manager import PassInstrumentation, PassTimingReport
 from .fir_to_standard import convert_fir_to_standard
 from . import pipelines
 
 
-@dataclass
-class StandardFlowResult:
-    """All stages of one standard-MLIR-flow compilation."""
+class StandardFlowResult(FlowResult):
+    """All stages of one standard-MLIR-flow compilation.
 
-    source: str
-    hlfir_module: ModuleOp          # Flang frontend output (intercepted)
-    standard_module: ModuleOp       # after the Section V transformation
-    optimised_module: ModuleOp      # after the paper's + MLIR optimisation passes
-    llvm_module: Optional[ModuleOp] = None
-    pipeline_description: str = ""
+    A :class:`~repro.flows.base.FlowResult` whose stages are ``hlfir``,
+    ``standard``, ``optimised`` and (optionally) ``llvm``; the historical
+    attribute names remain available as properties.
+    """
 
-    def stage(self, name: str) -> ModuleOp:
-        return {"hlfir": self.hlfir_module, "standard": self.standard_module,
-                "optimised": self.optimised_module, "llvm": self.llvm_module}[name]
+    def __init__(self, source: str, hlfir_module: ModuleOp,
+                 standard_module: ModuleOp, optimised_module: ModuleOp,
+                 llvm_module: Optional[ModuleOp] = None,
+                 pipeline_description: str = "",
+                 timing: Optional[PassTimingReport] = None):
+        super().__init__(flow="ours", source=source,
+                         stages={"hlfir": hlfir_module,
+                                 "standard": standard_module,
+                                 "optimised": optimised_module,
+                                 "llvm": llvm_module},
+                         pipeline=pipeline_description, timing=timing)
+
+    @property
+    def hlfir_module(self) -> ModuleOp:
+        return self.stages["hlfir"]
+
+    @property
+    def standard_module(self) -> ModuleOp:
+        return self.stages["standard"]
+
+    @property
+    def optimised_module(self) -> ModuleOp:
+        return self.stages["optimised"]
+
+    @property
+    def llvm_module(self) -> Optional[ModuleOp]:
+        return self.stages["llvm"]
+
+    @property
+    def pipeline_description(self) -> str:
+        return self.pipeline
 
     @property
     def is_standard_only(self) -> bool:
@@ -52,6 +82,9 @@ class StandardMLIRCompiler:
     * ``gpu`` — lower OpenACC regions to the gpu dialect (Table V);
     * ``tile`` / ``unroll`` — affine loop tiling/unrolling used for the
       linalg-backed intrinsics (Table III).
+
+    ``verify_each`` and ``instrumentations`` thread straight into the
+    optimisation pipeline's :class:`~repro.ir.pass_manager.PassManager`.
     """
 
     name = "our-approach"
@@ -59,7 +92,9 @@ class StandardMLIRCompiler:
 
     def __init__(self, *, vector_width: int = 4, parallelise: bool = False,
                  gpu: bool = False, tile: bool = False, tile_size: int = 32,
-                 unroll: int = 0, lower_to_llvm: bool = False):
+                 unroll: int = 0, lower_to_llvm: bool = False,
+                 verify_each: bool = False, collect_statistics: bool = True,
+                 instrumentations: Sequence[PassInstrumentation] = ()):
         self.vector_width = vector_width
         self.parallelise = parallelise
         self.gpu = gpu
@@ -67,6 +102,9 @@ class StandardMLIRCompiler:
         self.tile_size = tile_size
         self.unroll = unroll
         self.lower_to_llvm = lower_to_llvm
+        self.verify_each = verify_each
+        self.collect_statistics = collect_statistics
+        self.instrumentations = list(instrumentations)
         self._frontend = FlangCompiler()
 
     # -- pipeline description (Figure 2 / Figure 3) ---------------------------------
@@ -87,6 +125,16 @@ class StandardMLIRCompiler:
         steps.append("mlir-translate -> LLVM-IR, clang links with Flang runtime")
         return steps
 
+    def build_pipeline(self):
+        """The whole optimisation stage as one nested PassManager."""
+        pm = pipelines.standard_flow_pipeline(
+            self.vector_width, tile=self.tile, tile_size=self.tile_size,
+            unroll=self.unroll, parallelise=self.parallelise, gpu=self.gpu)
+        pm.verify_each = self.verify_each
+        pm.set_collect_statistics(self.collect_statistics)
+        pm.instrumentations.extend(self.instrumentations)
+        return pm
+
     # -- compilation -----------------------------------------------------------------
     def compile(self, source: str) -> StandardFlowResult:
         hlfir_module = self._frontend.lower_to_hlfir(source)
@@ -95,25 +143,16 @@ class StandardMLIRCompiler:
         standard_snapshot = standard_module.clone()
 
         optimised = standard_module
-        # forward/eliminate the per-iteration loop-variable stores first so the
-        # parallelisation and GPU lowerings see clean loop nests
-        from ..ir.pass_manager import PassManager
-        PassManager.from_pipeline(
-            "builtin.module(canonicalize, cse, forward-scalar-stores, "
-            "canonicalize, cse)").run(optimised)
-        if self.gpu:
-            pipelines.gpu_pipeline().run(optimised)
-        if self.parallelise:
-            pipelines.openmp_pipeline().run(optimised)
-        opt_pm = pipelines.optimise_pipeline(self.vector_width, tile=self.tile,
-                                             tile_size=self.tile_size,
-                                             unroll=self.unroll)
+        opt_pm = self.build_pipeline()
         opt_pm.run(optimised)
+        timing = opt_pm.last_report
 
         llvm_module = None
         if self.lower_to_llvm:
             llvm_module = optimised.clone()
-            pipelines.to_llvm_pipeline().run(llvm_module)
+            llvm_pm = pipelines.to_llvm_pipeline()
+            llvm_pm.run(llvm_module)
+            timing = timing.merged(llvm_pm.last_report)
 
         return StandardFlowResult(
             source=source,
@@ -122,6 +161,7 @@ class StandardMLIRCompiler:
             optimised_module=optimised,
             llvm_module=llvm_module,
             pipeline_description=opt_pm.describe(),
+            timing=timing,
         )
 
 

@@ -99,6 +99,35 @@ def optimise_pipeline(vector_width: int = 4, *, tile: bool = False,
     return pm
 
 
+def standard_flow_pipeline(vector_width: int = 4, *, tile: bool = False,
+                           tile_size: int = 32, unroll: int = 0,
+                           parallelise: bool = False,
+                           gpu: bool = False, **_ignored) -> PassManager:
+    """The whole standard flow as ONE op-anchored nested pipeline.
+
+    This is what the ``ours`` flow's pipeline builder returns: the initial
+    scalar cleanups are anchored per-``func.func`` (MLIR ``OpPassManager``
+    style), the optional GPU/OpenMP lowerings and the Section V/VI
+    optimisation stage follow at module level.  Running it yields a single
+    :class:`~repro.ir.pass_manager.PassTimingReport` covering every stage.
+    """
+    pm = PassManager()
+    # forward/eliminate the per-iteration loop-variable stores first so the
+    # parallelisation and GPU lowerings see clean loop nests
+    fn = pm.nest("func.func")
+    for name in ("canonicalize", "cse", "forward-scalar-stores",
+                 "canonicalize", "cse"):
+        fn.add(name)
+    if gpu:
+        pm.passes.extend(gpu_pipeline().passes)
+    if parallelise:
+        pm.passes.extend(openmp_pipeline().passes)
+    pm.passes.extend(optimise_pipeline(vector_width, tile=tile,
+                                       tile_size=tile_size,
+                                       unroll=unroll).passes)
+    return pm
+
+
 def openmp_pipeline() -> PassManager:
     return PassManager.from_pipeline(OPENMP_PIPELINE)
 
@@ -121,5 +150,6 @@ def to_llvm_pipeline() -> PassManager:
 __all__ = [
     "BASE_PIPELINE", "OPTIMISE_PIPELINE", "VECTORIZE_PIPELINE",
     "OPENMP_PIPELINE", "GPU_PIPELINE", "base_pipeline", "optimise_pipeline",
-    "openmp_pipeline", "gpu_pipeline", "to_llvm_pipeline",
+    "standard_flow_pipeline", "openmp_pipeline", "gpu_pipeline",
+    "to_llvm_pipeline",
 ]

@@ -2,39 +2,57 @@
 
 Stages: Fortran source -> parse/semantics -> HLFIR+FIR -> (HLFIR lowered to
 FIR only) -> direct LLVM-dialect code generation.  Intermediate modules are
-kept so the experiments can analyse/execute the flow at any stage.
+kept so the experiments can analyse/execute the flow at any stage; results
+are :class:`~repro.flows.base.FlowResult` subclasses, so both drivers expose
+the same ``stages`` / ``module`` / ``timing`` shape.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence
 
 from ..dialects.builtin import ModuleOp
+from ..flows.base import FlowResult
 from ..frontend import analyze, parse_source
 from ..frontend.lowering import FortranLowering
-from ..ir.pass_manager import PassManager
+from ..ir.pass_manager import (PassInstrumentation, PassManager,
+                               PassTimingReport)
 from .codegen import FirCfgConversionPass, FirToLLVMPass, FlangCodegenError
 from .hlfir_to_fir import ConvertHlfirToFirPass
 
 
-@dataclass
-class FlangCompilationResult:
-    """All intermediate stages of one baseline-Flang compilation."""
+class FlangCompilationResult(FlowResult):
+    """All intermediate stages of one baseline-Flang compilation.
 
-    source: str
-    hlfir_module: ModuleOp
-    fir_module: ModuleOp
-    llvm_module: Optional[ModuleOp]
-    error: Optional[str] = None
+    A :class:`~repro.flows.base.FlowResult` whose stages are ``hlfir``,
+    ``fir`` and ``llvm``; the historical attribute names remain available
+    as properties.
+    """
+
+    def __init__(self, source: str, hlfir_module: ModuleOp,
+                 fir_module: ModuleOp, llvm_module: Optional[ModuleOp],
+                 error: Optional[str] = None,
+                 timing: Optional[PassTimingReport] = None):
+        super().__init__(flow="flang", source=source,
+                         stages={"hlfir": hlfir_module, "fir": fir_module,
+                                 "llvm": llvm_module},
+                         timing=timing, error=error)
+
+    @property
+    def hlfir_module(self) -> ModuleOp:
+        return self.stages["hlfir"]
+
+    @property
+    def fir_module(self) -> ModuleOp:
+        return self.stages["fir"]
+
+    @property
+    def llvm_module(self) -> Optional[ModuleOp]:
+        return self.stages["llvm"]
 
     @property
     def succeeded(self) -> bool:
         return self.error is None
-
-    def stage(self, name: str) -> ModuleOp:
-        return {"hlfir": self.hlfir_module, "fir": self.fir_module,
-                "llvm": self.llvm_module}[name]
 
 
 class FlangCompiler:
@@ -49,9 +67,14 @@ class FlangCompiler:
     name = "flang"
     version = "20.0.0"
 
-    def __init__(self, use_hlfir: bool = True, optimization_level: int = 3):
+    def __init__(self, use_hlfir: bool = True, optimization_level: int = 3,
+                 *, verify_each: bool = False, collect_statistics: bool = True,
+                 instrumentations: Sequence[PassInstrumentation] = ()):
         self.use_hlfir = use_hlfir
         self.optimization_level = optimization_level
+        self.verify_each = verify_each
+        self.collect_statistics = collect_statistics
+        self.instrumentations = list(instrumentations)
 
     # -- pipeline descriptions (Figure 1) -----------------------------------------
     def flow_description(self) -> List[str]:
@@ -63,6 +86,11 @@ class FlangCompiler:
             "LLVM backend",
         ]
 
+    def _pass_manager(self, passes) -> PassManager:
+        return PassManager(passes, verify_each=self.verify_each,
+                           collect_statistics=self.collect_statistics,
+                           instrumentations=self.instrumentations)
+
     # -- compilation ----------------------------------------------------------------
     def lower_to_hlfir(self, source: str) -> ModuleOp:
         unit = parse_source(source)
@@ -70,11 +98,15 @@ class FlangCompiler:
         return FortranLowering(analysis).lower()
 
     def lower_to_fir(self, hlfir_module: ModuleOp) -> ModuleOp:
-        PassManager([ConvertHlfirToFirPass()]).run(hlfir_module)
+        pm = self._pass_manager([ConvertHlfirToFirPass()])
+        pm.run(hlfir_module)
+        self._last_report = pm.last_report
         return hlfir_module
 
     def lower_to_llvm(self, fir_module: ModuleOp) -> ModuleOp:
-        PassManager([FirCfgConversionPass(), FirToLLVMPass()]).run(fir_module)
+        pm = self._pass_manager([FirCfgConversionPass(), FirToLLVMPass()])
+        pm.run(fir_module)
+        self._last_report = pm.last_report
         return fir_module
 
     def compile(self, source: str, *, stop_at: str = "llvm") -> FlangCompilationResult:
@@ -82,17 +114,22 @@ class FlangCompiler:
         # keep a pristine copy of the HLFIR stage for inspection
         hlfir_snapshot = hlfir_module.clone()
         if stop_at == "hlfir":
-            return FlangCompilationResult(source, hlfir_snapshot, hlfir_module, None)
+            return FlangCompilationResult(source, hlfir_snapshot, hlfir_module,
+                                          None)
         fir_module = self.lower_to_fir(hlfir_module)
+        timing = self._last_report
         fir_snapshot = fir_module.clone()
         if stop_at == "fir":
-            return FlangCompilationResult(source, hlfir_snapshot, fir_module, None)
+            return FlangCompilationResult(source, hlfir_snapshot, fir_module,
+                                          None, timing=timing)
         try:
             llvm_module = self.lower_to_llvm(fir_module)
+            timing = timing.merged(self._last_report)
         except FlangCodegenError as exc:
             return FlangCompilationResult(source, hlfir_snapshot, fir_snapshot,
-                                          None, error=str(exc))
-        return FlangCompilationResult(source, hlfir_snapshot, fir_snapshot, llvm_module)
+                                          None, error=str(exc), timing=timing)
+        return FlangCompilationResult(source, hlfir_snapshot, fir_snapshot,
+                                      llvm_module, timing=timing)
 
 
 class FlangV17Compiler(FlangCompiler):
@@ -100,8 +137,9 @@ class FlangV17Compiler(FlangCompiler):
 
     version = "17.0.0"
 
-    def __init__(self, optimization_level: int = 3):
-        super().__init__(use_hlfir=False, optimization_level=optimization_level)
+    def __init__(self, optimization_level: int = 3, **kwargs):
+        super().__init__(use_hlfir=False,
+                         optimization_level=optimization_level, **kwargs)
 
 
 __all__ = ["FlangCompiler", "FlangV17Compiler", "FlangCompilationResult",

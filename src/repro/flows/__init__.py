@@ -1,0 +1,26 @@
+"""First-class, registered compilation flows.
+
+The mlir-opt analogy carried one level up: where passes register by name so
+pipelines are *data* (``builtin.module(canonicalize, cse)``), flows register
+by name so entire compilation strategies are data too.  The compile service,
+the compiler adapters and ``python -m repro.opt`` all dispatch through
+:func:`get_flow`; registering a new :class:`Flow` is the only step needed to
+make it cacheable, schedulable and measurable.
+
+* :mod:`repro.flows.base` — :class:`Flow`, :class:`OptionsSchema`,
+  :class:`ExecutionContext`, :class:`FlowResult`;
+* :mod:`repro.flows.registry` — registration and lookup;
+* :mod:`repro.flows.builtin` — the ``flang`` and ``ours`` flows.
+"""
+
+from .base import (CapabilityError, ExecutionContext, Flow, FlowError,
+                   FlowOption, FlowResult, OptionError, OptionsSchema)
+from .registry import (FLOW_REGISTRY, available_flows, get_flow,
+                       register_flow, registered, unregister_flow)
+
+__all__ = [
+    "CapabilityError", "ExecutionContext", "Flow", "FlowError", "FlowOption",
+    "FlowResult", "OptionError", "OptionsSchema", "FLOW_REGISTRY",
+    "available_flows", "get_flow", "register_flow", "registered",
+    "unregister_flow",
+]

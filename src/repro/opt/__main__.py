@@ -1,0 +1,8 @@
+"""Module entry point: ``python -m repro.opt``."""
+
+import sys
+
+from . import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -22,7 +22,7 @@ from contextlib import contextmanager
 from typing import Iterator, Optional
 
 from .cache import ArtifactCache, CacheCounters
-from .jobs import (FLOWS, KEY_SCHEMA_VERSION, CompiledArtifact, CompileJob,
+from .jobs import (KEY_SCHEMA_VERSION, CompiledArtifact, CompileJob,
                    ServiceError, execute_spec, run_job)
 from .scheduler import BatchReport, CompileService
 from .serialization import stats_from_dict, stats_to_dict
@@ -65,7 +65,7 @@ __all__ = [
     "ArtifactCache", "CacheCounters", "BatchReport", "CompileService",
     "CompileJob", "CompiledArtifact", "ServiceError", "run_job",
     "execute_spec", "stats_to_dict", "stats_from_dict", "KEY_SCHEMA_VERSION",
-    "FLOWS", "ALL_TABLES", "jobs_for", "enumerate_jobs", "run_tables",
+    "ALL_TABLES", "jobs_for", "enumerate_jobs", "run_tables",
     "get_default_service", "set_default_service", "use_service",
     "CACHE_DIR_ENV",
 ]

@@ -2,10 +2,13 @@
 
 A :class:`CompileJob` names everything that determines a compiled artifact:
 the workload (by registry name + variant kwargs, or an attached
-:class:`~repro.workloads.Workload` object), the compiler flow, the pipeline
-options and the execution parameters.  Its :meth:`~CompileJob.key` hashes
-that material — salted with :data:`KEY_SCHEMA_VERSION` — into the cache
-address, and :func:`run_job` performs the actual compile + interpret.
+:class:`~repro.workloads.Workload` object), the compiler flow (by registry
+name — see :mod:`repro.flows`), the flow's pipeline options as a dict, and
+the execution parameters.  Its :meth:`~CompileJob.key` hashes that material
+— salted with :data:`KEY_SCHEMA_VERSION` — into the cache address, and
+:func:`run_job` performs the actual compile + interpret by dispatching
+through the flow registry: there are no per-flow branches here, so a newly
+registered flow is immediately schedulable and cacheable.
 
 ``execute_spec`` is the process-pool entry point: it only ships the
 picklable spec dict across the process boundary and returns a JSON payload,
@@ -19,18 +22,18 @@ from __future__ import annotations
 import hashlib
 import json
 from dataclasses import dataclass, field
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Dict, Mapping, Optional, Tuple
 
+from ..flows import ExecutionContext, get_flow
 from ..workloads import Workload
 from .serialization import stats_from_dict, stats_to_dict
 
 #: Salt mixed into every cache key.  Bump whenever the meaning of cached
 #: artifacts changes (interpreter counts, stats schema, pipeline semantics):
 #: every previously persisted artifact then simply stops matching.
-KEY_SCHEMA_VERSION = 1
-
-#: Known compiler flows.
-FLOWS = ("flang", "ours")
+#: v2: flow-registry dispatch — pipeline options became a flow-normalised
+#: dict (including ``tile_size``) instead of fixed CompileJob fields.
+KEY_SCHEMA_VERSION = 2
 
 
 class ServiceError(RuntimeError):
@@ -44,15 +47,22 @@ class CompileJob:
     flow: str
     workload_name: str
     workload_kwargs: Tuple[Tuple[str, Any], ...] = ()
-    vector_width: int = 4
-    tile: bool = False
-    unroll: int = 0
+    #: Flow pipeline options, sparse: only what differs from the flow
+    #: schema's defaults needs to be given.  A dict is accepted and
+    #: canonicalised to a sorted tuple of pairs.
+    options: Tuple[Tuple[str, Any], ...] = ()
     threads: int = 1
     gpu: bool = False
     #: Optional live workload; spares a registry lookup and lets callers run
     #: non-registry workloads in-process.  Never crosses a process boundary.
     workload: Optional[Workload] = field(default=None, repr=False, compare=False)
     _key: Optional[str] = field(default=None, init=False, repr=False, compare=False)
+
+    def __post_init__(self):
+        if isinstance(self.options, Mapping):
+            self.options = tuple(sorted(self.options.items()))
+        else:
+            self.options = tuple(sorted(tuple(kv) for kv in self.options))
 
     # ------------------------------------------------------------ resolution
     def resolve_workload(self) -> Workload:
@@ -63,37 +73,37 @@ class CompileJob:
                                      **dict(self.workload_kwargs))
         return self.workload
 
+    def options_dict(self) -> Dict[str, Any]:
+        return dict(self.options)
+
+    def execution(self) -> ExecutionContext:
+        return ExecutionContext(threads=self.threads, gpu=self.gpu)
+
     def spec(self) -> Dict[str, Any]:
         """Picklable description, sufficient to re-run in another process."""
         return {"flow": self.flow, "workload_name": self.workload_name,
                 "workload_kwargs": tuple(self.workload_kwargs),
-                "vector_width": self.vector_width, "tile": self.tile,
-                "unroll": self.unroll, "threads": self.threads,
-                "gpu": self.gpu}
+                "options": tuple(self.options),
+                "threads": self.threads, "gpu": self.gpu}
 
     @classmethod
     def from_spec(cls, spec: Dict[str, Any]) -> "CompileJob":
         spec = dict(spec)
         spec["workload_kwargs"] = tuple(tuple(kv) for kv
                                         in spec.get("workload_kwargs", ()))
+        spec["options"] = tuple(tuple(kv) for kv in spec.get("options", ()))
         return cls(**spec)
 
     # ----------------------------------------------------------------- keys
     def pipeline_options(self, workload: Workload) -> Dict[str, Any]:
-        """Options actually handed to the flow's pipeline.
+        """The canonical options the flow's pipeline actually receives.
 
-        The flang flow takes none, so jobs differing only in (say)
-        ``vector_width`` deduplicate to one flang artifact.
+        Normalised by the flow's schema: defaults filled in, options the
+        flow does not take dropped (so e.g. flang jobs differing only in
+        ``vector_width`` deduplicate to one artifact).
         """
-        if self.flow != "ours":
-            return {}
-        return {
-            "vector_width": self.vector_width,
-            "tile": self.tile,
-            "unroll": self.unroll,
-            "parallelise": self.threads > 1 and not workload.uses_openmp,
-            "gpu": self.gpu or workload.uses_openacc,
-        }
+        return get_flow(self.flow).normalise_options(
+            self.options_dict(), workload, self.execution())
 
     def key_material(self) -> Dict[str, Any]:
         workload = self.resolve_workload()
@@ -104,7 +114,7 @@ class CompileJob:
             "pipeline": self.pipeline_options(workload),
             # stats depend on *whether* execution is parallel/offloaded, not
             # on the core count, so thread counts bucket to one artifact
-            "execution": {"parallel": self.threads > 1, "gpu": bool(self.gpu)},
+            "execution": self.execution().key_material(),
         }
 
     def key(self) -> str:
@@ -115,9 +125,9 @@ class CompileJob:
         return self._key
 
     def safe_key(self) -> str:
-        """Like :meth:`key`, but unresolvable jobs get a spec-derived key
-        instead of raising — matching the failure artifact :func:`run_job`
-        produces for them."""
+        """Like :meth:`key`, but unresolvable jobs (unknown workload, unknown
+        flow, bad kwargs) get a spec-derived key instead of raising —
+        matching the failure artifact :func:`run_job` produces for them."""
         try:
             return self.key()
         except Exception:
@@ -178,44 +188,36 @@ def _unresolvable_key(job: CompileJob) -> str:
 def run_job(job: CompileJob) -> CompiledArtifact:
     """Compile + interpret one job in this process.
 
-    Deterministic failures (e.g. the flang flow rejecting OpenACC) come back
-    as ``ok=False`` artifacts so they are cacheable; this function never
-    raises for them.
+    Dispatch is entirely through the flow registry.  Deterministic failures
+    (an unknown flow name, a capability check rejecting the workload — e.g.
+    the flang flow and OpenACC) come back as ``ok=False`` artifacts so they
+    are cacheable; this function never raises for them.
     """
     from ..ir.printer import print_op
     from ..machine import Interpreter
 
     try:
         workload = job.resolve_workload()
+        flow = get_flow(job.flow)
         key = job.key()
     except Exception as exc:
-        # unresolvable spec (unknown registry name, bad kwargs): still an
-        # artifact, addressed by a spec-derived key so it is cacheable
+        # unresolvable spec (unknown registry name, unknown flow, bad
+        # kwargs): still an artifact, addressed by a spec-derived key so it
+        # is cacheable
         return CompiledArtifact(key=_unresolvable_key(job), flow=job.flow,
                                 workload=job.workload_name, ok=False,
                                 error=f"{type(exc).__name__}: {exc}")
     try:
-        if job.flow == "flang":
-            if job.gpu or workload.uses_openacc:
-                # Section VI-C: Flang v18 ICEs on OpenACC lowering
-                from ..flang import FlangCodegenError
-                raise FlangCodegenError(
-                    "missing LLVMTranslationDialectInterface for the acc dialect")
-            from ..flang import FlangCompiler
-            result = FlangCompiler().compile(workload.source(scaled=True),
-                                             stop_at="fir")
-            module = result.fir_module
-        elif job.flow == "ours":
-            from ..core import StandardMLIRCompiler
-            opts = job.pipeline_options(workload)
-            compiler = StandardMLIRCompiler(
-                vector_width=opts["vector_width"],
-                parallelise=opts["parallelise"], gpu=opts["gpu"],
-                tile=opts["tile"], unroll=opts["unroll"])
-            result = compiler.compile(workload.source(scaled=True))
-            module = result.optimised_module
-        else:
-            raise ValueError(f"unknown compiler flow {job.flow!r}")
+        # the service discards FlowResult.timing, so skip the per-pass
+        # timing/IR-size bookkeeping on this hot path
+        result = flow.run(workload, job.options_dict(), job.execution(),
+                          collect_statistics=False)
+        if result.error is not None:
+            # flows may encode failure in the result instead of raising
+            return CompiledArtifact(key=key, flow=job.flow,
+                                    workload=workload.name, ok=False,
+                                    error=result.error)
+        module = result.module
         module_text = print_op(module)
         interpreter = Interpreter(module)
         interpreter.run_main()
@@ -236,4 +238,4 @@ def execute_spec(spec: Dict[str, Any]) -> Tuple[str, Dict[str, Any]]:
 
 
 __all__ = ["CompileJob", "CompiledArtifact", "ServiceError", "run_job",
-           "execute_spec", "KEY_SCHEMA_VERSION", "FLOWS"]
+           "execute_spec", "KEY_SCHEMA_VERSION"]

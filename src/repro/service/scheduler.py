@@ -107,7 +107,21 @@ class CompileService:
         pool; that is safe only if re-resolving the spec via the registry
         reproduces the same cache key (it will not for, say, an attached
         OpenMP variant submitted without the matching ``workload_kwargs``).
+
+        Similarly, the flow registry is per-process: a worker only knows
+        the flows registered at import time (:mod:`repro.flows.builtin`),
+        so jobs naming a flow registered elsewhere — or an unknown flow —
+        stay in-process, where the caller's registry (and the caller's
+        failure-artifact key) applies.
         """
+        from ..flows import get_flow
+        from ..flows import builtin as builtin_flows
+        try:
+            flow = get_flow(job.flow)
+        except Exception:
+            return False
+        if type(flow).__module__ != builtin_flows.__name__:
+            return False
         if job.workload is None:
             return True
         try:

@@ -46,11 +46,11 @@ def jobs_for(table: str,
     elif table == "table3":
         for w in _filtered(intrinsic_workloads(), benchmarks):
             opts = table3_options(w.name)
-            jobs.append(CompileJob("ours", w.name, workload=w, **opts))
+            jobs.append(CompileJob("ours", w.name, workload=w, options=opts))
             jobs.append(CompileJob("flang", w.name, workload=w))
             if w.name in TABLE3_THREADED:
                 jobs.append(CompileJob("ours", w.name, workload=w,
-                                       threads=TABLE3_THREADS, **opts))
+                                       threads=TABLE3_THREADS, options=opts))
     elif table == "table4":
         for name in ("jacobi", "pw-advection"):
             kwargs = (("openmp", True),)
@@ -67,9 +67,10 @@ def jobs_for(table: str,
                                    workload_kwargs=kwargs, gpu=True))
     elif table == "figure3":
         name = benchmarks[0] if benchmarks else "dotproduct"
-        jobs.append(CompileJob("ours", name, vector_width=0))
-        jobs.append(CompileJob("ours", name, vector_width=4))
-        jobs.append(CompileJob("ours", name, vector_width=4, tile=True))
+        jobs.append(CompileJob("ours", name, options={"vector_width": 0}))
+        jobs.append(CompileJob("ours", name, options={"vector_width": 4}))
+        jobs.append(CompileJob("ours", name,
+                               options={"vector_width": 4, "tile": True}))
     else:
         raise KeyError(f"unknown table {table!r} (choose from {ALL_TABLES})")
     return jobs

@@ -7,10 +7,10 @@ from repro.service import CompileJob
 from repro.workloads import get_workload, jacobi, pw_advection
 
 
-def key(**kwargs):
+def key(options=None, **kwargs):
     kwargs.setdefault("flow", "ours")
     kwargs.setdefault("workload_name", "dotproduct")
-    return CompileJob(**kwargs).key()
+    return CompileJob(options=options or {}, **kwargs).key()
 
 
 class TestPipelineOptionKeys:
@@ -18,11 +18,23 @@ class TestPipelineOptionKeys:
         assert key() == key()
 
     @pytest.mark.parametrize("variant", [
-        {"vector_width": 0}, {"vector_width": 8}, {"tile": True},
-        {"unroll": 4}, {"threads": 64}, {"gpu": True}, {"flow": "flang"},
+        {"options": {"vector_width": 0}}, {"options": {"vector_width": 8}},
+        {"options": {"tile": True}}, {"options": {"tile_size": 16}},
+        {"options": {"unroll": 4}}, {"threads": 64}, {"gpu": True},
+        {"flow": "flang"},
     ])
     def test_option_changes_change_the_key(self, variant):
         assert key(**variant) != key()
+
+    def test_default_options_are_explicit_defaults(self):
+        # sparse options normalise through the flow schema, so spelling a
+        # default out changes nothing
+        assert key(options={"vector_width": 4}) == key()
+        assert key(options={"tile": False, "unroll": 0}) == key()
+
+    def test_option_order_is_irrelevant(self):
+        assert key(options={"tile": True, "unroll": 4}) == \
+            key(options={"unroll": 4, "tile": True})
 
     def test_thread_counts_bucket_to_one_parallel_artifact(self):
         # stats depend on parallel-vs-serial, not on the core count
@@ -30,11 +42,19 @@ class TestPipelineOptionKeys:
         assert key(threads=1) != key(threads=2)
 
     def test_flang_flow_ignores_standard_pipeline_options(self):
-        # vector_width/tile/unroll never reach the flang pipeline, so jobs
-        # differing only there deduplicate to one flang artifact
-        assert key(flow="flang", vector_width=0) == key(flow="flang",
-                                                        vector_width=8)
-        assert key(flow="flang", tile=True) == key(flow="flang")
+        # vector_width/tile/unroll are not in the flang flow's schema, so
+        # jobs differing only there deduplicate to one flang artifact
+        assert key(flow="flang", options={"vector_width": 0}) == \
+            key(flow="flang", options={"vector_width": 8})
+        assert key(flow="flang", options={"tile": True}) == key(flow="flang")
+
+    def test_unknown_flow_key_does_not_raise_via_safe_key(self):
+        job = CompileJob("no-such-flow", "dotproduct")
+        with pytest.raises(Exception):
+            job.key()
+        assert job.safe_key() == CompileJob("no-such-flow",
+                                            "dotproduct").safe_key()
+        assert job.safe_key() != CompileJob("no-such-flow", "sum").safe_key()
 
 
 class TestWorkloadVariantKeys:
@@ -77,15 +97,33 @@ class TestWorkloadVariantKeys:
         job = CompileJob("ours", "pw-advection",
                          workload_kwargs=(("openacc", True),
                                           ("grid_cells", 134_000_000)),
-                         gpu=True, vector_width=8)
+                         gpu=True, options={"vector_width": 8})
         assert CompileJob.from_spec(job.spec()).key() == job.key()
+
+    def test_spec_round_trip_preserves_options(self):
+        job = CompileJob("ours", "dotproduct",
+                         options={"tile": True, "tile_size": 16, "unroll": 2})
+        back = CompileJob.from_spec(job.spec())
+        assert back.options_dict() == job.options_dict()
+        assert back.key() == job.key()
 
 
 class TestKeyMaterial:
     def test_material_names_schema_flow_and_source_hash(self):
         material = CompileJob("ours", "dotproduct").key_material()
-        assert material["schema"] >= 1
+        assert material["schema"] >= 2
         assert material["flow"] == "ours"
         assert material["workload"]["source_sha256"] == \
             get_workload("dotproduct").source_hash()
         assert material["pipeline"]["vector_width"] == 4
+
+    def test_material_pipeline_is_flow_normalised(self):
+        # derived options (parallelise, gpu) come from the execution context
+        # and the workload, via the flow's normalisation hook
+        serial = CompileJob("ours", "dotproduct").key_material()
+        threaded = CompileJob("ours", "dotproduct", threads=8).key_material()
+        assert serial["pipeline"]["parallelise"] is False
+        assert threaded["pipeline"]["parallelise"] is True
+        acc = CompileJob("ours", "pw-advection",
+                         workload=pw_advection(openacc=True)).key_material()
+        assert acc["pipeline"]["gpu"] is True

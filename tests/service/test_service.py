@@ -94,7 +94,8 @@ class TestBatch:
         jobs = [CompileJob("ours", "dotproduct"),
                 CompileJob("ours", "dotproduct"),      # duplicate
                 CompileJob("flang", "dotproduct"),
-                CompileJob("flang", "dotproduct", vector_width=8)]  # dedupes
+                # dedupes: flang's schema drops the foreign option
+                CompileJob("flang", "dotproduct", options={"vector_width": 8})]
         report = service.submit(jobs, max_workers=1)
         assert report.submitted == 4
         assert report.unique == 2
