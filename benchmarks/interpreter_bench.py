@@ -1,0 +1,124 @@
+#!/usr/bin/env python3
+"""Interpreter benchmark: ops/sec through both flows, to JSON.
+
+Compiles representative Polyhedron and stencil workloads once per flow
+(baseline Flang/FIR level and the standard-MLIR flow), then interprets each
+module with
+
+* the cached-dispatch engine (per-block compiled thunk lists, batched limit
+  checks, pre-fetched stats counters — the default), and
+* the reference engine (``compile_blocks=False``: per-op string-built
+  ``getattr`` dispatch and per-op limit checks, the pre-cached-dispatch
+  behaviour),
+
+and writes wall time, dynamic op counts, ops/sec and the speedup per
+(workload, flow) to ``BENCH_interpreter.json`` so CI can track the
+performance trajectory.  Exits non-zero if the two engines disagree on
+statistics or program output (they must be bit-identical), or if the
+cached-dispatch engine fails to beat the reference engine overall.
+
+Usage: ``PYTHONPATH=src python benchmarks/interpreter_bench.py [--quick]
+[output.json]``
+"""
+
+import json
+import platform
+import sys
+import time
+from datetime import datetime, timezone
+
+from repro.core import StandardMLIRCompiler
+from repro.flang import FlangCompiler
+from repro.machine import Interpreter
+from repro.service.serialization import stats_to_dict
+from repro.workloads import get_workload
+
+#: (workload, interp-param overrides or None) — polyhedron + stencils that
+#: spend their time in the interpreter inner loop, not in vectorised numpy.
+WORKLOADS = ["ac", "linpk", "tfft", "jacobi", "tra-adv"]
+QUICK_WORKLOADS = ["ac", "jacobi"]
+DEFAULT_OUTPUT = "BENCH_interpreter.json"
+
+
+def compile_both(source: str):
+    fir = FlangCompiler().compile(source, stop_at="fir").fir_module
+    ours = StandardMLIRCompiler(vector_width=4).compile(source).optimised_module
+    return {"flang-fir": fir, "ours": ours}
+
+
+def timed_run(module, compile_blocks: bool):
+    interp = Interpreter(module, compile_blocks=compile_blocks)
+    t0 = time.perf_counter()
+    interp.run_main()
+    return time.perf_counter() - t0, interp
+
+
+def main() -> int:
+    argv = sys.argv[1:]
+    quick = "--quick" in argv
+    argv = [a for a in argv if a != "--quick"]
+    output = argv[0] if argv else DEFAULT_OUTPUT
+
+    runs = []
+    mismatches = 0
+    for name in QUICK_WORKLOADS if quick else WORKLOADS:
+        source = get_workload(name).source(scaled=True)
+        for flow, module in compile_both(source).items():
+            ref_s, ref = timed_run(module, compile_blocks=False)
+            new_s, new = timed_run(module, compile_blocks=True)
+            stats_equal = stats_to_dict(ref.stats) == stats_to_dict(new.stats)
+            output_equal = ref.printed == new.printed
+            if not (stats_equal and output_equal):
+                mismatches += 1
+            total_ops = new.stats.total_ops
+            runs.append({
+                "workload": name,
+                "flow": flow,
+                "total_ops": total_ops,
+                "wall_s": round(new_s, 4),
+                "ops_per_s": round(total_ops / max(new_s, 1e-9)),
+                "baseline_wall_s": round(ref_s, 4),
+                "baseline_ops_per_s": round(total_ops / max(ref_s, 1e-9)),
+                "speedup": round(ref_s / max(new_s, 1e-9), 2),
+                "stats_equal": stats_equal,
+                "output_equal": output_equal,
+            })
+            print(f"{name:10s} {flow:9s} {total_ops:>9} ops  "
+                  f"ref {ref_s:6.3f}s  cached {new_s:6.3f}s  "
+                  f"{runs[-1]['speedup']:5.2f}x  "
+                  f"{'OK' if stats_equal and output_equal else 'MISMATCH'}")
+
+    best = max(r["speedup"] for r in runs)
+    total_ref = sum(r["baseline_wall_s"] for r in runs)
+    total_new = sum(r["wall_s"] for r in runs)
+    report = {
+        "benchmark": "interpreter_bench",
+        "quick": quick,
+        "timestamp": datetime.now(timezone.utc).isoformat(),
+        "python": platform.python_version(),
+        "runs": runs,
+        "total_wall_s": round(total_new, 4),
+        "total_baseline_wall_s": round(total_ref, 4),
+        "overall_speedup": round(total_ref / max(total_new, 1e-9), 2),
+        "best_speedup": best,
+    }
+    with open(output, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+    print(json.dumps({k: v for k, v in report.items() if k != "runs"}, indent=2))
+
+    if mismatches:
+        print(f"FAIL: {mismatches} run(s) with engine disagreement",
+              file=sys.stderr)
+        return 1
+    if report["overall_speedup"] <= 1.0:
+        print("FAIL: cached-dispatch engine not faster than the reference",
+              file=sys.stderr)
+        return 1
+    print(f"OK: cached dispatch {report['overall_speedup']}x overall, "
+          f"best {best}x, engines bit-identical")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

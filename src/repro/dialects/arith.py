@@ -195,8 +195,10 @@ class NegFOp(Operation):
 
 #: Integer comparison predicates (MLIR spelling).
 CMPI_PREDICATES = ("eq", "ne", "slt", "sle", "sgt", "sge", "ult", "ule", "ugt", "uge")
-#: Float comparison predicates (ordered forms only, as generated by Flang).
-CMPF_PREDICATES = ("oeq", "one", "olt", "ole", "ogt", "oge", "ord", "uno", "ueq", "une")
+#: Float comparison predicates (LLVM fcmp semantics: ``o*`` false on NaN
+#: operands, ``u*`` true on NaN operands, ``ord``/``uno`` test for NaN).
+CMPF_PREDICATES = ("oeq", "one", "olt", "ole", "ogt", "oge", "ord", "uno",
+                   "ueq", "une", "ult", "ule", "ugt", "uge")
 
 
 @register_op

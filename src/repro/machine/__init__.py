@@ -13,7 +13,9 @@ from .models import (ARCHER2, CIRRUS_V100, CRAY_PROFILE, FLANG_V17_PROFILE,
                      OURS_PROFILE, CompilerProfile, CPUModel, GPUModel)
 from .perf import PerformanceModel, RuntimeBreakdown, WorkloadScaling
 from .profiler import InstructionMix, profile_stats
-from .values import Cell, ElementPtr, FortranArray, as_ndarray
+from .semantics import int_ceildiv, int_div, int_floordiv, int_rem
+from .values import (Cell, ElementPtr, FortranArray, as_ndarray, load_element,
+                     store_element)
 
 __all__ = [
     "ExecutionLimitExceeded", "ExecutionStats", "Interpreter",
@@ -22,5 +24,6 @@ __all__ = [
     "NVFORTRAN_PROFILE", "OURS_PROFILE", "CompilerProfile", "CPUModel",
     "GPUModel", "PerformanceModel", "RuntimeBreakdown", "WorkloadScaling",
     "InstructionMix", "profile_stats", "Cell", "ElementPtr", "FortranArray",
-    "as_ndarray",
+    "as_ndarray", "load_element", "store_element", "int_div", "int_rem",
+    "int_floordiv", "int_ceildiv",
 ]

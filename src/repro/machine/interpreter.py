@@ -13,13 +13,39 @@ omp/acc/gpu regions) — so that:
 Statistics are kept per execution context: ``serial``, ``parallel`` (inside
 omp/scf.parallel regions) and ``gpu`` (inside gpu.launch kernels), which the
 threading and GPU models use.
+
+Execution engine
+----------------
+
+Interpreting a table regeneration executes tens of millions of operations,
+so the inner loop avoids all per-operation dispatch work:
+
+* handler resolution is cached at class level (op name -> handler, resolved
+  once per name instead of a ``getattr`` with string building per executed
+  op), and
+* every block is compiled on first entry into a list of closures ("thunks"),
+  one per operation, with operands, results, attributes and the stats
+  category already resolved; re-executing the block (every loop iteration)
+  just calls the thunks.  Adjacent address-computation + load/store pairs
+  (``fir.array_coor``/``hlfir.designate`` feeding a single ``fir.load``,
+  ``fir.store`` or ``hlfir.assign``) are fused into a single thunk that
+  skips the intermediate :class:`ElementPtr` allocation.
+* the ``max_ops`` limit is checked once per ``N`` executed operations
+  (``N`` scales with ``max_ops``) instead of before every operation, and
+* statistics bumps go straight into a pre-fetched per-context ``Counter``
+  (kept in sync with the context stack) with fused total-ops accounting.
+
+The original one-op-at-a-time engine is kept as a reference implementation
+(``Interpreter(..., compile_blocks=False)``); both engines produce
+bit-identical results and statistics, which ``tests/machine`` asserts and
+``benchmarks/interpreter_bench.py`` uses as the speedup baseline.
 """
 
 from __future__ import annotations
 
-import math as pymath
 from collections import Counter, defaultdict
 from dataclasses import dataclass, field
+from functools import partial
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -28,7 +54,11 @@ from ..dialects import fir as fir_d
 from ..flang import runtime as flang_runtime
 from ..ir import types as ir_types
 from ..ir.core import Block, Operation, Value
-from .values import Cell, ElementPtr, FortranArray, as_ndarray, numpy_dtype_for
+from .semantics import (CMPF, CMPI_SIGNED, CMPI_UNSIGNED, as_unsigned,
+                        cmpi_eval, int_ceildiv, int_div, int_floordiv,
+                        int_rem, int_width)
+from .values import (Cell, ElementPtr, FortranArray, as_ndarray, load_element,
+                     numpy_dtype_for, store_element)
 
 
 class InterpreterError(Exception):
@@ -63,9 +93,21 @@ class ExecutionStats:
     def context_total(self, context: str) -> float:
         return sum(self.counts[context].values())
 
+    def merged(self) -> Counter:
+        """All per-context counts folded into one Counter (single pass)."""
+        total: Counter = Counter()
+        for ctr in self.counts.values():
+            total.update(ctr)
+        return total
+
     def summary(self) -> Dict[str, Dict[str, float]]:
         return {c: dict(v) for c, v in self.counts.items()}
 
+
+# ---------------------------------------------------------------------------
+# Dispatch tables (value semantics live in repro.machine.semantics, shared
+# with the canonicalizer's constant folder)
+# ---------------------------------------------------------------------------
 
 _FLOAT_BINOPS = {
     "arith.addf": lambda a, b: a + b, "arith.subf": lambda a, b: a - b,
@@ -77,10 +119,10 @@ _FLOAT_BINOPS = {
 _INT_BINOPS = {
     "arith.addi": lambda a, b: a + b, "arith.subi": lambda a, b: a - b,
     "arith.muli": lambda a, b: a * b,
-    "arith.divsi": lambda a, b: _int_div(a, b),
-    "arith.floordivsi": lambda a, b: a // b if b else 0,
-    "arith.ceildivsi": lambda a, b: -((-a) // b) if b else 0,
-    "arith.remsi": lambda a, b: np.fmod(a, b) if isinstance(a, np.ndarray) else (a % b if b else 0),
+    "arith.divsi": int_div,
+    "arith.floordivsi": int_floordiv,
+    "arith.ceildivsi": int_ceildiv,
+    "arith.remsi": int_rem,
     "arith.andi": lambda a, b: (bool(a) and bool(b)) if isinstance(a, (bool, np.bool_)) else a & b,
     "arith.ori": lambda a, b: (bool(a) or bool(b)) if isinstance(a, (bool, np.bool_)) else a | b,
     "arith.xori": lambda a, b: bool(a) != bool(b) if isinstance(a, (bool, np.bool_)) else a ^ b,
@@ -93,32 +135,29 @@ _MATH_UNARY = {
     "math.tan": np.tan, "math.tanh": np.tanh, "math.atan": np.arctan,
     "math.absf": np.abs, "math.absi": abs,
 }
-_CMPI = {"eq": lambda a, b: a == b, "ne": lambda a, b: a != b,
-         "slt": lambda a, b: a < b, "sle": lambda a, b: a <= b,
-         "sgt": lambda a, b: a > b, "sge": lambda a, b: a >= b,
-         "ult": lambda a, b: a < b, "ule": lambda a, b: a <= b,
-         "ugt": lambda a, b: a > b, "uge": lambda a, b: a >= b}
-_CMPF = {"oeq": lambda a, b: a == b, "one": lambda a, b: a != b,
-         "olt": lambda a, b: a < b, "ole": lambda a, b: a <= b,
-         "ogt": lambda a, b: a > b, "oge": lambda a, b: a >= b,
-         "ord": lambda a, b: True, "uno": lambda a, b: False,
-         "ueq": lambda a, b: a == b, "une": lambda a, b: a != b}
 
+# ---------------------------------------------------------------------------
+# Block-structure sets used by both execution engines
+# ---------------------------------------------------------------------------
 
-def _int_div(a, b):
-    if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
-        return a // b
-    if b == 0:
-        return 0
-    q = abs(a) // abs(b)
-    return q if (a >= 0) == (b >= 0) else -q
+_RETURN_OPS = frozenset({"func.return", "llvm.return"})
+_BR_OPS = frozenset({"cf.br", "llvm.br"})
+_COND_BR_OPS = frozenset({"cf.cond_br", "llvm.cond_br"})
+_YIELD_OPS = frozenset({
+    "scf.yield", "fir.result", "affine.yield", "omp.yield",
+    "omp.terminator", "acc.terminator", "gpu.terminator",
+    "linalg.yield", "scf.reduce.return", "memref.alloca_scope.return",
+    "scf.condition", "hlfir.yield_element", "fir.has_value"})
 
 
 class Interpreter:
     """Executes a module and records dynamic operation statistics."""
 
+    #: op name -> handler function (resolved once per name, class-level).
+    _HANDLER_CACHE: Dict[str, Optional[Callable]] = {}
+
     def __init__(self, module: Operation, *, max_ops: int = 80_000_000,
-                 trace_output: bool = False):
+                 trace_output: bool = False, compile_blocks: bool = True):
         self.module = module
         self.stats = ExecutionStats()
         self.max_ops = max_ops
@@ -127,6 +166,18 @@ class Interpreter:
         self.context_stack: List[str] = ["serial"]
         self.printed: List[str] = []
         self.trace_output = trace_output
+        self.compile_blocks = compile_blocks
+        #: per-context Counter for the current context (hot-path bump target)
+        self._ctx_counts: Counter = self.stats.counts["serial"]
+        #: compiled thunk lists, one per visited Block
+        self._block_cache: Dict[Block, List[Callable]] = {}
+        # limit checking is batched: every _check_stride executed ops
+        self._check_stride = max(1, min(4096, max_ops // 16))
+        self._budget = self._check_stride
+        if compile_blocks:
+            self._run_block = self._run_block_compiled
+        else:
+            self._run_block = self._run_block_simple
         self._collect_symbols()
 
     # ------------------------------------------------------------------ set-up
@@ -153,9 +204,18 @@ class Interpreter:
             cell.value = init.value
         return cell
 
+    # ------------------------------------------------------------------ context
     @property
     def context(self) -> str:
         return self.context_stack[-1]
+
+    def _push_context(self, name: str) -> None:
+        self.context_stack.append(name)
+        self._ctx_counts = self.stats.counts[name]
+
+    def _pop_context(self) -> None:
+        self.context_stack.pop()
+        self._ctx_counts = self.stats.counts[self.context_stack[-1]]
 
     def _check_limit(self) -> None:
         if self.stats.total_ops > self.max_ops:
@@ -173,7 +233,8 @@ class Interpreter:
         func = self.functions.get(name)
         if func is None:
             return self._runtime_call(name, list(args), [])
-        self.stats.bump(self.context, "call")
+        self._ctx_counts["call"] += 1.0
+        self.stats.total_ops += 1
         return self._run_function(func, list(args))
 
     def _run_function(self, func: Operation, args: List) -> List:
@@ -185,9 +246,9 @@ class Interpreter:
         for block_arg, value in zip(entry.args, args):
             env[block_arg] = value
         block = entry
-        incoming: List = []
+        run_block = self._run_block
         while True:
-            action, payload = self._run_block(block, env)
+            action, payload = run_block(block, env)
             if action == "return":
                 return payload
             if action == "branch":
@@ -198,17 +259,159 @@ class Interpreter:
             raise InterpreterError(f"unexpected control action {action}")
 
     # ------------------------------------------------------------------ blocks
-    def _run_block(self, block: Block, env: Dict) -> Tuple[str, object]:
+    #
+    # The compiled engine turns each block into a list of closures on first
+    # entry.  A thunk returns None (plain operation) or a control tuple
+    # ("return" | "branch" | "yield", payload) that _run_block forwards.
+
+    def _run_block_compiled(self, block: Block, env: Dict) -> Tuple[str, object]:
+        code = self._block_cache.get(block)
+        if code is None:
+            code = self._block_cache[block] = self._compile_block(block)
+        budget = self._budget - len(code)
+        if budget <= 0:
+            self._check_limit()
+            budget = self._check_stride
+        self._budget = budget
+        for step in code:
+            result = step(env)
+            if result is not None:
+                return result
+        return "yield", (None, [])
+
+    def _compile_block(self, block: Block) -> List[Callable]:
+        code: List[Callable] = []
+        ops = block.ops
+        skip_next = False
+        for position, op in enumerate(ops):
+            if skip_next:
+                skip_next = False
+                continue
+            follower = ops[position + 1] if position + 1 < len(ops) else None
+            thunk = self._compile_op(op, follower)
+            if thunk is _FUSED_WITH_NEXT:
+                thunk = self._fused_thunk(op, follower)
+                skip_next = True
+            code.append(thunk)
+        return code
+
+    def _compile_op(self, op: Operation, follower: Optional[Operation]) -> Callable:
+        name = op.name
+        interp = self
+        stats = self.stats
+        if name in _RETURN_OPS:
+            vals = op.operands
+
+            def do_return(env, _vals=vals):
+                return "return", [env.get(v) for v in _vals]
+            return do_return
+        if name in _BR_OPS:
+            succ = op.successors[0]
+            vals = op.operands
+
+            def do_br(env, _succ=succ, _vals=vals):
+                interp._ctx_counts["branch"] += 1.0
+                stats.total_ops += 1
+                return "branch", (_succ, [env.get(v) for v in _vals])
+            return do_br
+        if name in _COND_BR_OPS:
+            n_attr = op.get_attr("num_true_operands")
+            n = n_attr.value if n_attr is not None else 0
+            cond_v = op.operands[0]
+            true_vals = op.operands[1:1 + n]
+            false_vals = op.operands[1 + n:]
+            true_succ, false_succ = op.successors[0], op.successors[1]
+
+            def do_cond_br(env):
+                interp._ctx_counts["branch"] += 1.0
+                stats.total_ops += 1
+                if env.get(cond_v):
+                    return "branch", (true_succ, [env.get(v) for v in true_vals])
+                return "branch", (false_succ, [env.get(v) for v in false_vals])
+            return do_cond_br
+        if name in _YIELD_OPS:
+            vals = op.operands
+
+            def do_yield(env, _op=op, _vals=vals):
+                return "yield", (_op, [env.get(v) for v in _vals])
+            return do_yield
+        maker = _THUNK_MAKERS.get(name)
+        if maker is not None:
+            if maker in _FUSABLE_MAKERS and _fusable(op, follower):
+                return _FUSED_WITH_NEXT
+            return maker(self, op)
+        handler = self._resolve_handler(name)
+        if handler is None:
+            def missing(env, _name=name):
+                raise InterpreterError(
+                    f"interpreter cannot execute operation {_name}")
+            return missing
+        # partial(bound_handler, op) -> handler(self, op, env) on each call
+        return partial(handler.__get__(self, type(self)), op)
+
+    @classmethod
+    def _resolve_handler(cls, name: str) -> Optional[Callable]:
+        """Class-level dispatch table: op name -> handler, resolved once."""
+        try:
+            return cls._HANDLER_CACHE[name]
+        except KeyError:
+            handler = getattr(cls, "_exec_" + name.replace(".", "_"), None)
+            if handler is None:
+                handler = _TABLE_HANDLERS.get(name)
+            cls._HANDLER_CACHE[name] = handler
+            return handler
+
+    def _fused_thunk(self, op: Operation, follower: Operation) -> Callable:
+        """One thunk for an address computation plus the single load/store
+        that consumes it (skips the intermediate ElementPtr)."""
+        interp = self
+        stats = self.stats
+        unwrap_cell = op.name == "hlfir.designate"
+        base_v = op.operands[0]
+        index_vals = tuple(op.indices)
+        if follower.name == "fir.load":
+            res = follower.results[0]
+
+            def fused_load(env):
+                base = env[base_v]
+                counts = interp._ctx_counts
+                counts["index_arith"] += 1.0
+                counts["load"] += 1.0
+                stats.total_ops += 2
+                if unwrap_cell and type(base) is Cell:
+                    base = base.value
+                env[res] = load_element(
+                    base, tuple(int(env[v]) for v in index_vals))
+            return fused_load
+        value_v = follower.operands[0]
+
+        def fused_store(env):
+            base = env[base_v]
+            counts = interp._ctx_counts
+            counts["index_arith"] += 1.0
+            counts["store"] += 1.0
+            stats.total_ops += 2
+            if unwrap_cell and type(base) is Cell:
+                base = base.value
+            store_element(base, tuple(int(env[v]) for v in index_vals),
+                          env[value_v])
+        return fused_store
+
+    # The reference engine: one op at a time, exactly the pre-cached-dispatch
+    # behaviour (per-op limit check, string-built getattr dispatch).  Kept as
+    # the correctness baseline for the compiled engine and as the benchmark's
+    # reference point.
+    def _run_block_simple(self, block: Block, env: Dict) -> Tuple[str, object]:
         for op in block.ops:
             self._check_limit()
             name = op.name
             # terminators that transfer control
-            if name in ("func.return", "llvm.return"):
+            if name in _RETURN_OPS:
                 return "return", [env.get(v) for v in op.operands]
-            if name in ("cf.br", "llvm.br"):
+            if name in _BR_OPS:
                 self.stats.bump(self.context, "branch")
                 return "branch", (op.successors[0], [env.get(v) for v in op.operands])
-            if name in ("cf.cond_br", "llvm.cond_br"):
+            if name in _COND_BR_OPS:
                 self.stats.bump(self.context, "branch")
                 cond = bool(env.get(op.operands[0]))
                 n_attr = op.get_attr("num_true_operands")
@@ -218,11 +421,7 @@ class Interpreter:
                                       [env.get(v) for v in op.operands[1:1 + n]])
                 return "branch", (op.successors[1],
                                   [env.get(v) for v in op.operands[1 + n:]])
-            if name in ("scf.yield", "fir.result", "affine.yield", "omp.yield",
-                        "omp.terminator", "acc.terminator", "gpu.terminator",
-                        "linalg.yield", "scf.reduce.return",
-                        "memref.alloca_scope.return", "scf.condition",
-                        "hlfir.yield_element", "fir.has_value"):
+            if name in _YIELD_OPS:
                 return "yield", (op, [env.get(v) for v in op.operands])
             self._execute_op(op, env)
         return "yield", (None, [])
@@ -234,37 +433,9 @@ class Interpreter:
         if handler is not None:
             handler(op, env)
             return
-        if name in _FLOAT_BINOPS:
-            a, b = env[op.operands[0]], env[op.operands[1]]
-            result = _FLOAT_BINOPS[name](a, b)
-            env[op.results[0]] = result
-            self._count_arith(op, result, is_float=True)
-            return
-        if name in _INT_BINOPS:
-            a, b = env[op.operands[0]], env[op.operands[1]]
-            result = _INT_BINOPS[name](a, b)
-            env[op.results[0]] = result
-            self._count_arith(op, result, is_float=False)
-            return
-        if name in _MATH_UNARY:
-            value = env[op.operands[0]]
-            env[op.results[0]] = _MATH_UNARY[name](value)
-            self._count_vector_or_scalar(value, "float_math")
-            return
-        if name in ("math.powf", "math.fpowi", "math.ipowi"):
-            a, b = env[op.operands[0]], env[op.operands[1]]
-            env[op.results[0]] = a ** b
-            self._count_vector_or_scalar(a, "float_math")
-            return
-        if name in ("math.fma", "vector.fma", "llvm.intr.fmuladd"):
-            a, b, c = (env[v] for v in op.operands)
-            env[op.results[0]] = a * b + c
-            self._count_vector_or_scalar(a, "float_fma")
-            return
-        if name in ("math.atan2",):
-            a, b = env[op.operands[0]], env[op.operands[1]]
-            env[op.results[0]] = np.arctan2(a, b)
-            self._count_vector_or_scalar(a, "float_math")
+        table_handler = _TABLE_HANDLERS.get(name)
+        if table_handler is not None:
+            table_handler(self, op, env)
             return
         raise InterpreterError(f"interpreter cannot execute operation {name}")
 
@@ -294,12 +465,14 @@ class Interpreter:
 
     def _exec_arith_cmpi(self, op, env) -> None:
         a, b = env[op.operands[0]], env[op.operands[1]]
-        env[op.results[0]] = _CMPI[op.get_attr("predicate").value](a, b)
+        predicate = op.get_attr("predicate").value
+        env[op.results[0]] = cmpi_eval(predicate,
+                                       int_width(op.operands[0].type), a, b)
         self.stats.bump(self.context, "cmp")
 
     def _exec_arith_cmpf(self, op, env) -> None:
         a, b = env[op.operands[0]], env[op.operands[1]]
-        env[op.results[0]] = _CMPF[op.get_attr("predicate").value](a, b)
+        env[op.results[0]] = CMPF[op.get_attr("predicate").value](a, b)
         self.stats.bump(self.context, "cmp")
 
     def _exec_arith_select(self, op, env) -> None:
@@ -730,9 +903,12 @@ class Interpreter:
         step = int(env[op.operands[2]])
         iter_values = [env[v] for v in op.operands[3:]]
         body = op.regions[0].blocks[0]
+        counts = self._ctx_counts
+        stats = self.stats
         iv = lower
         while iv < upper:
-            self.stats.bump(self.context, "loop_iter")
+            counts["loop_iter"] += 1.0
+            stats.total_ops += 1
             env[body.args[0]] = iv
             for arg, val in zip(body.args[1:], iter_values):
                 env[arg] = val
@@ -754,9 +930,12 @@ class Interpreter:
         step = op.step_value
         iter_values = [env[v] for v in op.iter_args]
         body = op.regions[0].blocks[0]
+        counts = self._ctx_counts
+        stats = self.stats
         iv = lower
         while iv < upper:
-            self.stats.bump(self.context, "loop_iter")
+            counts["loop_iter"] += 1.0
+            stats.total_ops += 1
             env[body.args[0]] = iv
             for arg, val in zip(body.args[1:], iter_values):
                 env[arg] = val
@@ -798,8 +977,11 @@ class Interpreter:
         before = op.regions[0].blocks[0]
         after = op.regions[1].blocks[0]
         carried = [env[v] for v in op.operands]
+        counts = self._ctx_counts
+        stats = self.stats
         while True:
-            self.stats.bump(self.context, "loop_iter")
+            counts["loop_iter"] += 1.0
+            stats.total_ops += 1
             for arg, val in zip(before.args, carried):
                 env[arg] = val
             terminator, values = self._run_nested_block(before, env)
@@ -822,17 +1004,21 @@ class Interpreter:
         steps = [int(env[v]) for v in op.steps]
         body = op.body
         self.stats.parallel_regions += 1
-        self.context_stack.append("parallel")
+        self._push_context("parallel")
         try:
             self._iterate_parallel(body, lowers, uppers, steps, env)
         finally:
-            self.context_stack.pop()
+            self._pop_context()
 
     def _iterate_parallel(self, body, lowers, uppers, steps, env) -> None:
+        counts = self._ctx_counts
+        stats = self.stats
+
         def recurse(dim, indices):
             if dim == len(lowers):
-                self.stats.parallel_loop_iterations += 1
-                self.stats.bump(self.context, "loop_iter")
+                stats.parallel_loop_iterations += 1
+                counts["loop_iter"] += 1.0
+                stats.total_ops += 1
                 for arg, val in zip(body.args, indices):
                     env[arg] = val
                 self._run_nested_block(body, env)
@@ -850,11 +1036,14 @@ class Interpreter:
         step = int(env[op.operands[2]])
         iter_values = [env[v] for v in op.operands[3:]]
         body = op.regions[0].blocks[0]
+        counts = self._ctx_counts
+        stats = self.stats
         iv = lower
         if step == 0:
             step = 1
         while (step > 0 and iv <= upper) or (step < 0 and iv >= upper):
-            self.stats.bump(self.context, "loop_iter")
+            counts["loop_iter"] += 1.0
+            stats.total_ops += 1
             env[body.args[0]] = iv
             for arg, val in zip(body.args[1:], iter_values):
                 env[arg] = val
@@ -873,9 +1062,12 @@ class Interpreter:
         ok = bool(env[op.operands[3]])
         iter_values = [env[v] for v in op.operands[4:]]
         body = op.regions[0].blocks[0]
+        counts = self._ctx_counts
+        stats = self.stats
         iv = lower
         while iv <= upper and ok:
-            self.stats.bump(self.context, "loop_iter")
+            counts["loop_iter"] += 1.0
+            stats.total_ops += 1
             env[body.args[0]] = iv
             env[body.args[1]] = ok
             for arg, val in zip(body.args[2:], iter_values):
@@ -892,11 +1084,11 @@ class Interpreter:
     # -- OpenMP / OpenACC / GPU --------------------------------------------------------------
     def _exec_omp_parallel(self, op, env) -> None:
         self.stats.parallel_regions += 1
-        self.context_stack.append("parallel")
+        self._push_context("parallel")
         try:
             self._run_nested_block(op.regions[0].blocks[0], env)
         finally:
-            self.context_stack.pop()
+            self._pop_context()
 
     def _exec_omp_wsloop(self, op, env) -> None:
         rank = op.rank
@@ -904,7 +1096,9 @@ class Interpreter:
         uppers = [int(env[v]) for v in op.upper_bounds]
         steps = [int(env[v]) for v in op.steps]
         body = op.body
-        self.context_stack.append("parallel")
+        self._push_context("parallel")
+        counts = self._ctx_counts
+        stats = self.stats
         inclusive = op.get_attr("inclusive_ub") is not None
         if not inclusive:
             uppers = [u - 1 for u in uppers]
@@ -913,24 +1107,25 @@ class Interpreter:
             # Fortran-generated omp.wsloop uses inclusive bounds; wsloops
             # converted from scf.parallel are exclusive (adjusted above)
             while iv <= uppers[0]:
-                self.stats.parallel_loop_iterations += 1
-                self.stats.bump(self.context, "loop_iter")
+                stats.parallel_loop_iterations += 1
+                counts["loop_iter"] += 1.0
+                stats.total_ops += 1
                 env[body.args[0]] = iv
                 self._run_nested_block(body, env)
                 iv += steps[0] if steps[0] else 1
         finally:
-            self.context_stack.pop()
+            self._pop_context()
 
     def _exec_omp_barrier(self, op, env) -> None:
         self.stats.bump(self.context, "sync")
 
     def _exec_acc_kernels(self, op, env) -> None:
         self.stats.gpu_kernel_launches += 1
-        self.context_stack.append("gpu")
+        self._push_context("gpu")
         try:
             self._run_nested_block(op.regions[0].blocks[0], env)
         finally:
-            self.context_stack.pop()
+            self._pop_context()
         for res, operand in zip(op.results, op.operands):
             env[res] = env[operand]
 
@@ -963,7 +1158,7 @@ class Interpreter:
         self.stats.gpu_kernel_launches += 1
         self.stats.gpu_threads += total_threads
         body = op.regions[0].blocks[0]
-        self.context_stack.append("gpu")
+        self._push_context("gpu")
         try:
             for linear in range(total_threads):
                 bid = linear // (block[0] * block[1] * block[2])
@@ -974,7 +1169,7 @@ class Interpreter:
                     env[arg] = val
                 self._run_nested_block(body, env)
         finally:
-            self.context_stack.pop()
+            self._pop_context()
 
     # -- linalg (when not lowered to loops) ---------------------------------------------------
     def _exec_linalg_fill(self, op, env) -> None:
@@ -1085,6 +1280,584 @@ class _FunctionReturn(Exception):
     def __init__(self, values):
         super().__init__("return")
         self.values = values
+
+
+# ---------------------------------------------------------------------------
+# Table-driven handlers (shared by both engines for ops without _exec_ methods)
+# ---------------------------------------------------------------------------
+
+def _table_float_binop(interp, op, env):
+    a, b = env[op.operands[0]], env[op.operands[1]]
+    result = _FLOAT_BINOPS[op.name](a, b)
+    env[op.results[0]] = result
+    interp._count_arith(op, result, is_float=True)
+
+
+def _table_int_binop(interp, op, env):
+    a, b = env[op.operands[0]], env[op.operands[1]]
+    result = _INT_BINOPS[op.name](a, b)
+    env[op.results[0]] = result
+    interp._count_arith(op, result, is_float=False)
+
+
+def _table_math_unary(interp, op, env):
+    value = env[op.operands[0]]
+    env[op.results[0]] = _MATH_UNARY[op.name](value)
+    interp._count_vector_or_scalar(value, "float_math")
+
+
+def _table_pow(interp, op, env):
+    a, b = env[op.operands[0]], env[op.operands[1]]
+    env[op.results[0]] = a ** b
+    interp._count_vector_or_scalar(a, "float_math")
+
+
+def _table_fma(interp, op, env):
+    a, b, c = (env[v] for v in op.operands)
+    env[op.results[0]] = a * b + c
+    interp._count_vector_or_scalar(a, "float_fma")
+
+
+def _table_atan2(interp, op, env):
+    a, b = env[op.operands[0]], env[op.operands[1]]
+    env[op.results[0]] = np.arctan2(a, b)
+    interp._count_vector_or_scalar(a, "float_math")
+
+
+_TABLE_HANDLERS: Dict[str, Callable] = {}
+for _name in _FLOAT_BINOPS:
+    _TABLE_HANDLERS[_name] = _table_float_binop
+for _name in _INT_BINOPS:
+    _TABLE_HANDLERS[_name] = _table_int_binop
+for _name in _MATH_UNARY:
+    _TABLE_HANDLERS[_name] = _table_math_unary
+for _name in ("math.powf", "math.fpowi", "math.ipowi"):
+    _TABLE_HANDLERS[_name] = _table_pow
+for _name in ("math.fma", "vector.fma", "llvm.intr.fmuladd"):
+    _TABLE_HANDLERS[_name] = _table_fma
+_TABLE_HANDLERS["math.atan2"] = _table_atan2
+del _name
+
+
+# ---------------------------------------------------------------------------
+# Thunk makers: (interpreter, op) -> fn(env), with everything static resolved
+# at block-compile time (operands, results, attributes, stats category).
+# ---------------------------------------------------------------------------
+
+def _mk_constant(interp, op):
+    res = op.results[0]
+    value = op.get_attr("value").value
+
+    def run(env):
+        env[res] = value
+    return run
+
+
+def _mk_float_binop(interp, op):
+    fn = _FLOAT_BINOPS[op.name]
+    a, b = op.operands[0], op.operands[1]
+    res = op.results[0]
+    stats = interp.stats
+
+    def run(env):
+        result = fn(env[a], env[b])
+        env[res] = result
+        if isinstance(result, np.ndarray) and result.size > 1:
+            interp._ctx_counts["vector_float"] += 1.0
+        else:
+            interp._ctx_counts["float_arith"] += 1.0
+        stats.total_ops += 1
+    return run
+
+
+def _mk_int_binop(interp, op):
+    fn = _INT_BINOPS[op.name]
+    a, b = op.operands[0], op.operands[1]
+    res = op.results[0]
+    stats = interp.stats
+    scalar_cat = "index_arith" if isinstance(a.type, ir_types.IndexType) \
+        else "int_arith"
+
+    def run(env):
+        result = fn(env[a], env[b])
+        env[res] = result
+        if isinstance(result, np.ndarray) and result.size > 1:
+            interp._ctx_counts["vector_int"] += 1.0
+        else:
+            interp._ctx_counts[scalar_cat] += 1.0
+        stats.total_ops += 1
+    return run
+
+
+def _mk_math_unary(interp, op):
+    fn = _MATH_UNARY[op.name]
+    a = op.operands[0]
+    res = op.results[0]
+    stats = interp.stats
+
+    def run(env):
+        value = env[a]
+        env[res] = fn(value)
+        if isinstance(value, np.ndarray) and value.size > 1:
+            interp._ctx_counts["vector_float"] += 1.0
+        else:
+            interp._ctx_counts["float_math"] += 1.0
+        stats.total_ops += 1
+    return run
+
+
+def _mk_pow(interp, op):
+    a, b = op.operands[0], op.operands[1]
+    res = op.results[0]
+    stats = interp.stats
+
+    def run(env):
+        base = env[a]
+        env[res] = base ** env[b]
+        if isinstance(base, np.ndarray) and base.size > 1:
+            interp._ctx_counts["vector_float"] += 1.0
+        else:
+            interp._ctx_counts["float_math"] += 1.0
+        stats.total_ops += 1
+    return run
+
+
+def _mk_fma(interp, op):
+    a, b, c = op.operands
+    res = op.results[0]
+    stats = interp.stats
+
+    def run(env):
+        va = env[a]
+        env[res] = va * env[b] + env[c]
+        if isinstance(va, np.ndarray) and va.size > 1:
+            interp._ctx_counts["vector_float"] += 1.0
+        else:
+            interp._ctx_counts["float_fma"] += 1.0
+        stats.total_ops += 1
+    return run
+
+
+def _mk_atan2(interp, op):
+    a, b = op.operands[0], op.operands[1]
+    res = op.results[0]
+    stats = interp.stats
+
+    def run(env):
+        va = env[a]
+        env[res] = np.arctan2(va, env[b])
+        if isinstance(va, np.ndarray) and va.size > 1:
+            interp._ctx_counts["vector_float"] += 1.0
+        else:
+            interp._ctx_counts["float_math"] += 1.0
+        stats.total_ops += 1
+    return run
+
+
+def _mk_cmpi(interp, op):
+    predicate = op.get_attr("predicate").value
+    a, b = op.operands[0], op.operands[1]
+    res = op.results[0]
+    stats = interp.stats
+    signed_fn = CMPI_SIGNED.get(predicate)
+    if signed_fn is not None:
+        def run(env):
+            env[res] = signed_fn(env[a], env[b])
+            interp._ctx_counts["cmp"] += 1.0
+            stats.total_ops += 1
+        return run
+    unsigned_fn = CMPI_UNSIGNED[predicate]
+    width = int_width(a.type)
+
+    def run(env):
+        env[res] = unsigned_fn(as_unsigned(env[a], width),
+                               as_unsigned(env[b], width))
+        interp._ctx_counts["cmp"] += 1.0
+        stats.total_ops += 1
+    return run
+
+
+def _mk_cmpf(interp, op):
+    fn = CMPF[op.get_attr("predicate").value]
+    a, b = op.operands[0], op.operands[1]
+    res = op.results[0]
+    stats = interp.stats
+
+    def run(env):
+        env[res] = fn(env[a], env[b])
+        interp._ctx_counts["cmp"] += 1.0
+        stats.total_ops += 1
+    return run
+
+
+def _mk_select(interp, op):
+    cond, a, b = op.operands
+    res = op.results[0]
+    stats = interp.stats
+
+    def run(env):
+        env[res] = env[a] if env[cond] else env[b]
+        interp._ctx_counts["int_arith"] += 1.0
+        stats.total_ops += 1
+    return run
+
+
+def _mk_negf(interp, op):
+    a = op.operands[0]
+    res = op.results[0]
+    stats = interp.stats
+
+    def run(env):
+        value = env[a]
+        env[res] = -value
+        if isinstance(value, np.ndarray) and value.size > 1:
+            interp._ctx_counts["vector_float"] += 1.0
+        else:
+            interp._ctx_counts["float_arith"] += 1.0
+        stats.total_ops += 1
+    return run
+
+
+def _mk_cast(interp, op):
+    a = op.operands[0]
+    res = op.results[0]
+    target = res.type
+    stats = interp.stats
+    if isinstance(target, ir_types.FloatType):
+        convert = float
+    elif isinstance(target, ir_types.IntegerType) and target.width == 1:
+        convert = bool
+    elif isinstance(target, (ir_types.IntegerType, ir_types.IndexType)):
+        convert = int
+    else:
+        convert = None
+
+    def run(env):
+        value = env[a]
+        env[res] = convert(value) if convert is not None else value
+        interp._ctx_counts["cast"] += 1.0
+        stats.total_ops += 1
+    return run
+
+
+def _mk_fir_convert(interp, op):
+    a = op.operands[0]
+    res = op.results[0]
+    target = res.type
+    stats = interp.stats
+    if isinstance(target, ir_types.FloatType):
+        convert = float
+    elif isinstance(target, (ir_types.IntegerType, ir_types.IndexType)):
+        convert = int
+    else:
+        convert = None
+
+    def run(env):
+        value = env[a]
+        if isinstance(value, (Cell, FortranArray, ElementPtr, np.ndarray)):
+            env[res] = value
+        elif convert is not None:
+            env[res] = convert(value)
+        else:
+            env[res] = value
+        interp._ctx_counts["cast"] += 1.0
+        stats.total_ops += 1
+    return run
+
+
+def _mk_fir_load(interp, op):
+    src = op.operands[0]
+    res = op.results[0]
+    stats = interp.stats
+
+    def run(env):
+        source = env[src]
+        interp._ctx_counts["load"] += 1.0
+        stats.total_ops += 1
+        t = type(source)
+        if t is Cell:
+            env[res] = source.value
+        elif t is ElementPtr:
+            env[res] = source.load()
+        else:
+            env[res] = source
+    return run
+
+
+def _mk_fir_store(interp, op):
+    val, dst = op.operands[0], op.operands[1]
+    stats = interp.stats
+
+    def run(env):
+        dest = env[dst]
+        interp._ctx_counts["store"] += 1.0
+        stats.total_ops += 1
+        t = type(dest)
+        if t is Cell:
+            dest.value = env[val]
+        elif t is ElementPtr:
+            dest.store(env[val])
+        else:
+            raise InterpreterError(
+                "fir.store destination is not a storage location")
+    return run
+
+
+def _mk_memref_load(interp, op):
+    mem = op.operands[0]
+    index_vals = op.operands[1:]
+    res = op.results[0]
+    stats = interp.stats
+    if len(index_vals) == 1:
+        i0 = index_vals[0]
+
+        def run(env):
+            memref_value = env[mem]
+            interp._ctx_counts["load"] += 1.0
+            stats.total_ops += 1
+            if type(memref_value) is Cell:
+                env[res] = memref_value.value
+            else:
+                env[res] = memref_value[int(env[i0])]
+        return run
+    if len(index_vals) == 2:
+        i0, i1 = index_vals
+
+        def run(env):
+            memref_value = env[mem]
+            interp._ctx_counts["load"] += 1.0
+            stats.total_ops += 1
+            if type(memref_value) is Cell:
+                env[res] = memref_value.value
+            else:
+                env[res] = memref_value[int(env[i0]), int(env[i1])]
+        return run
+
+    def run(env):
+        memref_value = env[mem]
+        interp._ctx_counts["load"] += 1.0
+        stats.total_ops += 1
+        if type(memref_value) is Cell:
+            env[res] = memref_value.value
+        elif index_vals:
+            env[res] = memref_value[tuple(int(env[v]) for v in index_vals)]
+        else:
+            env[res] = memref_value[()]
+    return run
+
+
+def _mk_memref_store(interp, op):
+    val, mem = op.operands[0], op.operands[1]
+    index_vals = op.operands[2:]
+    stats = interp.stats
+    if len(index_vals) == 1:
+        i0 = index_vals[0]
+
+        def run(env):
+            memref_value = env[mem]
+            interp._ctx_counts["store"] += 1.0
+            stats.total_ops += 1
+            if type(memref_value) is Cell:
+                memref_value.value = env[val]
+            else:
+                memref_value[int(env[i0])] = env[val]
+        return run
+    if len(index_vals) == 2:
+        i0, i1 = index_vals
+
+        def run(env):
+            memref_value = env[mem]
+            interp._ctx_counts["store"] += 1.0
+            stats.total_ops += 1
+            if type(memref_value) is Cell:
+                memref_value.value = env[val]
+            else:
+                memref_value[int(env[i0]), int(env[i1])] = env[val]
+        return run
+
+    def run(env):
+        memref_value = env[mem]
+        interp._ctx_counts["store"] += 1.0
+        stats.total_ops += 1
+        if type(memref_value) is Cell:
+            memref_value.value = env[val]
+        else:
+            memref_value[tuple(int(env[v]) for v in index_vals)
+                         if index_vals else ()] = env[val]
+    return run
+
+
+def _mk_llvm_load(interp, op):
+    src = op.operands[0]
+    res = op.results[0]
+    stats = interp.stats
+
+    def run(env):
+        source = env[src]
+        env[res] = source.value if type(source) is Cell else source
+        interp._ctx_counts["load"] += 1.0
+        stats.total_ops += 1
+    return run
+
+
+def _mk_llvm_store(interp, op):
+    val, dst = op.operands[0], op.operands[1]
+    stats = interp.stats
+
+    def run(env):
+        dest = env[dst]
+        if type(dest) is Cell:
+            dest.value = env[val]
+        interp._ctx_counts["store"] += 1.0
+        stats.total_ops += 1
+    return run
+
+
+def _mk_affine_load(interp, op):
+    mem = op.operands[0]
+    index_vals = op.operands[1:]
+    amap = op.get_attr("map")
+    res = op.results[0]
+    stats = interp.stats
+
+    def run(env):
+        memref_value = env[mem]
+        indices = amap.evaluate([int(env[v]) for v in index_vals])
+        interp._ctx_counts["load"] += 1.0
+        stats.total_ops += 1
+        if type(memref_value) is Cell:
+            env[res] = memref_value.value
+        elif indices:
+            env[res] = memref_value[tuple(indices)]
+        else:
+            env[res] = memref_value[()]
+    return run
+
+
+def _mk_affine_store(interp, op):
+    val, mem = op.operands[0], op.operands[1]
+    index_vals = op.operands[2:]
+    amap = op.get_attr("map")
+    stats = interp.stats
+
+    def run(env):
+        memref_value = env[mem]
+        indices = amap.evaluate([int(env[v]) for v in index_vals])
+        interp._ctx_counts["store"] += 1.0
+        stats.total_ops += 1
+        if type(memref_value) is Cell:
+            memref_value.value = env[val]
+        else:
+            memref_value[tuple(indices) if indices else ()] = env[val]
+    return run
+
+
+def _mk_affine_apply(interp, op):
+    operand_vals = op.operands
+    amap = op.get_attr("map")
+    res = op.results[0]
+    stats = interp.stats
+
+    def run(env):
+        env[res] = amap.evaluate([int(env[v]) for v in operand_vals])[0]
+        interp._ctx_counts["index_arith"] += 1.0
+        stats.total_ops += 1
+    return run
+
+
+def _mk_fir_array_coor(interp, op):
+    mem = op.memref
+    index_vals = tuple(op.indices)
+    res = op.results[0]
+    stats = interp.stats
+
+    def run(env):
+        interp._ctx_counts["index_arith"] += 1.0
+        stats.total_ops += 1
+        env[res] = ElementPtr(env[mem],
+                              indices=tuple(int(env[v]) for v in index_vals))
+    return run
+
+
+def _mk_hlfir_designate(interp, op):
+    # only the plain element-designator form is thunked; components and
+    # sections (triplets) keep the generic handler
+    if op.component is not None or op.triplets:
+        handler = Interpreter._resolve_handler(op.name)
+        return partial(handler.__get__(interp, type(interp)), op)
+    mem = op.memref
+    index_vals = tuple(op.indices)
+    res = op.results[0]
+    stats = interp.stats
+
+    def run(env):
+        base = env[mem]
+        interp._ctx_counts["index_arith"] += 1.0
+        stats.total_ops += 1
+        if type(base) is Cell:
+            base = base.value
+        env[res] = ElementPtr(base,
+                              indices=tuple(int(env[v]) for v in index_vals))
+    return run
+
+
+_THUNK_MAKERS: Dict[str, Callable] = {"arith.constant": _mk_constant,
+                                      "arith.cmpi": _mk_cmpi,
+                                      "arith.cmpf": _mk_cmpf,
+                                      "arith.select": _mk_select,
+                                      "arith.negf": _mk_negf,
+                                      "fir.convert": _mk_fir_convert,
+                                      "fir.load": _mk_fir_load,
+                                      "fir.store": _mk_fir_store,
+                                      "memref.load": _mk_memref_load,
+                                      "memref.store": _mk_memref_store,
+                                      "llvm.load": _mk_llvm_load,
+                                      "llvm.store": _mk_llvm_store,
+                                      "affine.load": _mk_affine_load,
+                                      "affine.store": _mk_affine_store,
+                                      "affine.apply": _mk_affine_apply,
+                                      "fir.array_coor": _mk_fir_array_coor,
+                                      "hlfir.designate": _mk_hlfir_designate,
+                                      "math.atan2": _mk_atan2}
+for _name in _FLOAT_BINOPS:
+    _THUNK_MAKERS[_name] = _mk_float_binop
+for _name in _INT_BINOPS:
+    _THUNK_MAKERS[_name] = _mk_int_binop
+for _name in _MATH_UNARY:
+    _THUNK_MAKERS[_name] = _mk_math_unary
+for _name in ("math.powf", "math.fpowi", "math.ipowi"):
+    _THUNK_MAKERS[_name] = _mk_pow
+for _name in ("math.fma", "vector.fma", "llvm.intr.fmuladd"):
+    _THUNK_MAKERS[_name] = _mk_fma
+for _name in ("arith.index_cast", "arith.sitofp", "arith.fptosi", "arith.extf",
+              "arith.truncf", "arith.extsi", "arith.extui", "arith.trunci",
+              "arith.bitcast"):
+    _THUNK_MAKERS[_name] = _mk_cast
+del _name
+
+#: sentinel returned by _compile_op when the op fuses with its follower
+_FUSED_WITH_NEXT = object()
+#: makers whose ops are address computations eligible for load/store fusion
+_FUSABLE_MAKERS = {_mk_fir_array_coor, _mk_hlfir_designate}
+
+
+def _fusable(op: Operation, follower: Optional[Operation]) -> bool:
+    """True when ``op`` is an element-address computation whose single use is
+    the immediately following load/store, so the pair can run as one thunk."""
+    if follower is None or not op.results:
+        return False
+    if op.name == "hlfir.designate" and (op.component is not None or op.triplets):
+        return False
+    address = op.results[0]
+    if len(address.uses) != 1 or address.uses[0].operation is not follower:
+        return False
+    if follower.name == "fir.load":
+        return follower.operands[0] is address
+    if follower.name == "fir.store":
+        return follower.operands[1] is address and follower.operands[0] is not address
+    if follower.name == "hlfir.assign":
+        return follower.operands[1] is address and follower.operands[0] is not address
+    return False
 
 
 def run_module(module: Operation, *, entry: Optional[str] = None,

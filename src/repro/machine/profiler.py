@@ -37,15 +37,17 @@ class InstructionMix:
 
 def profile_stats(stats: ExecutionStats, work_ratio: float = 1.0) -> InstructionMix:
     """Summarise an execution into a Section-IV style instruction mix."""
-    scalar_fp = stats.total("float_arith") + stats.total("float_fma") + \
-        stats.total("float_math")
-    vector_fp = stats.total("vector_float")
-    loads = stats.total("load") + stats.total("vector_load")
-    stores = stats.total("store") + stats.total("vector_store")
-    index_ops = stats.total("index_arith") + stats.total("cast")
-    int_ops = stats.total("int_arith")
-    branches = stats.total("branch") + stats.total("loop_iter")
-    runtime_elems = stats.total("runtime_elem")
+    # one pass over the per-context counters instead of one per category
+    merged = stats.merged()
+    scalar_fp = merged["float_arith"] + merged["float_fma"] + \
+        merged["float_math"]
+    vector_fp = merged["vector_float"]
+    loads = merged["load"] + merged["vector_load"]
+    stores = merged["store"] + merged["vector_store"]
+    index_ops = merged["index_arith"] + merged["cast"]
+    int_ops = merged["int_arith"]
+    branches = merged["branch"] + merged["loop_iter"]
+    runtime_elems = merged["runtime_elem"]
 
     total = (scalar_fp + vector_fp + loads + stores + index_ops + int_ops +
              branches + runtime_elems * 3) * work_ratio

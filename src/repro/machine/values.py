@@ -32,24 +32,26 @@ class Cell:
 class FortranArray:
     """Column-major Fortran array storage used at the FIR level."""
 
-    __slots__ = ("data", "shape")
+    __slots__ = ("data", "shape", "strides")
 
     def __init__(self, shape: Sequence[int], dtype=np.float64,
                  data: Optional[np.ndarray] = None):
         self.shape = tuple(int(s) for s in shape)
         size = 1
+        strides = []
         for s in self.shape:
+            strides.append(size)
             size *= s
+        #: column-major element strides, precomputed once (hot-path indexing)
+        self.strides = tuple(strides)
         self.data = data if data is not None else np.zeros(size, dtype=dtype)
 
     # -- indexing (1-based Fortran indices) ---------------------------------------
     def flat_index(self, indices: Sequence[int]) -> int:
         """Column-major flattening of 1-based indices."""
         flat = 0
-        stride = 1
-        for idx, extent in zip(indices, self.shape):
+        for idx, stride in zip(indices, self.strides):
             flat += (int(idx) - 1) * stride
-            stride *= extent
         return flat
 
     def get(self, indices: Sequence[int]):
@@ -70,7 +72,7 @@ class FortranArray:
         return f"FortranArray(shape={self.shape})"
 
 
-@dataclass
+@dataclass(slots=True)
 class ElementPtr:
     """A reference to one element of an array (FIR-level designator)."""
 
@@ -105,6 +107,29 @@ class ElementPtr:
             self.array[tuple(int(i) for i in self.indices)] = value
 
 
+def load_element(array, indices: Tuple):
+    """Read one element, as :meth:`ElementPtr.load` would for these indices,
+    without allocating the intermediate pointer (interpreter fast path)."""
+    t = type(array)
+    if t is FortranArray:
+        return array.get(indices)
+    if t is Cell:
+        return array.value
+    return array[tuple(int(i) for i in indices)]
+
+
+def store_element(array, indices: Tuple, value) -> None:
+    """Write one element, as :meth:`ElementPtr.store` would for these indices,
+    without allocating the intermediate pointer (interpreter fast path)."""
+    t = type(array)
+    if t is FortranArray:
+        array.set(indices, value)
+    elif t is Cell:
+        array.value = value
+    else:
+        array[tuple(int(i) for i in indices)] = value
+
+
 def as_ndarray(value) -> np.ndarray:
     """Any array-ish interpreter value as a NumPy ndarray."""
     if isinstance(value, FortranArray):
@@ -129,4 +154,5 @@ def numpy_dtype_for(type_obj) -> np.dtype:
     return np.dtype(np.float64)
 
 
-__all__ = ["Cell", "FortranArray", "ElementPtr", "as_ndarray", "numpy_dtype_for"]
+__all__ = ["Cell", "FortranArray", "ElementPtr", "as_ndarray",
+           "load_element", "store_element", "numpy_dtype_for"]

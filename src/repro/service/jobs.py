@@ -33,7 +33,9 @@ from .serialization import stats_from_dict, stats_to_dict
 #: every previously persisted artifact then simply stops matching.
 #: v2: flow-registry dispatch — pipeline options became a flow-normalised
 #: dict (including ``tile_size``) instead of fixed CompileJob fields.
-KEY_SCHEMA_VERSION = 2
+#: v3: interpreter numeric-semantics fixes (unsigned cmpi, NaN-aware cmpf,
+#: LLVM trunc divsi/remsi) — stats cached under v2 may predate the fixes.
+KEY_SCHEMA_VERSION = 3
 
 
 class ServiceError(RuntimeError):

@@ -8,6 +8,7 @@ from typing import Dict, List, Optional, Tuple
 
 from ..dialects import arith, math as math_d
 from ..ir import types as ir_types
+from ..machine import semantics
 from ..ir.attributes import FloatAttr, IntegerAttr
 from ..ir.core import Block, Operation, Value
 from ..ir.pass_manager import FunctionPass, Pass, register_pass
@@ -40,9 +41,12 @@ class CanonicalizePass(Pass):
         "arith.addi": lambda a, b: a + b,
         "arith.subi": lambda a, b: a - b,
         "arith.muli": lambda a, b: a * b,
-        "arith.divsi": lambda a, b: int(a / b) if b else 0,
-        "arith.floordivsi": lambda a, b: a // b if b else 0,
-        "arith.remsi": lambda a, b: a % b if b else 0,
+        # trunc-division semantics shared with the interpreter, so folded
+        # constants can never diverge from interpreted results
+        "arith.divsi": semantics.int_div,
+        "arith.floordivsi": semantics.int_floordiv,
+        "arith.ceildivsi": semantics.int_ceildiv,
+        "arith.remsi": semantics.int_rem,
         "arith.maxsi": max,
         "arith.minsi": min,
         "arith.andi": lambda a, b: a & b,
