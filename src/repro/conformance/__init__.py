@@ -1,0 +1,33 @@
+"""Differential conformance testing subsystem.
+
+Manufactures scenarios at scale and keeps every registered compilation flow
+and both interpreter engines honest:
+
+* :mod:`repro.conformance.generator` — seeded, reproducible Fortran kernel
+  generator over the supported language subset;
+* :mod:`repro.conformance.oracle` — differential runner: every registered
+  flow (plus a no-opt baseline) x both interpreter engines, with divergence
+  detection over printed output and execution statistics;
+* :mod:`repro.conformance.reduce` — AST-level shrinking reducer that turns a
+  divergent kernel into a small self-contained repro;
+* ``python -m repro.conformance`` — the sweep / repro CLI.
+
+Importing this package registers the ``conformance/<seed>`` workload family,
+so generated kernels resolve by name in any process (which is what lets the
+compile service fan conformance sweeps out across cores).
+"""
+
+from ..workloads import register_workload_family
+from .generator import GeneratedKernel, GeneratorConfig, family_factory, generate
+from .oracle import (Divergence, FlowConfig, KernelReport, SweepReport,
+                     check_kernel, check_seed, default_configs, run_sweep)
+from .reduce import reduce_source
+
+register_workload_family("conformance", family_factory)
+
+__all__ = [
+    "Divergence", "FlowConfig", "GeneratedKernel", "GeneratorConfig",
+    "KernelReport", "SweepReport", "check_kernel", "check_seed",
+    "default_configs", "family_factory", "generate", "reduce_source",
+    "run_sweep",
+]

@@ -1,0 +1,177 @@
+"""``python -m repro.conformance`` — differential conformance CLI.
+
+Subcommands:
+
+* ``run``   — sweep a seed range through every registered flow x both
+  interpreter engines via the compile service (``--jobs`` fans out over a
+  process pool); any divergence writes a self-contained repro file and the
+  exit status is non-zero.
+* ``repro`` — regenerate one seed, re-check it in-process, and (by default)
+  shrink the kernel to a minimal repro.
+* ``show``  — print the generated kernel for a seed.
+
+Examples::
+
+    python -m repro.conformance run --seeds 200 --jobs 8
+    python -m repro.conformance run --seeds 64 --out conformance-repros
+    python -m repro.conformance repro --seed 1337
+    python -m repro.conformance show --seed 7
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import List, Optional
+
+from . import (FlowConfig, KernelReport, check_seed, default_configs,
+               generate, run_sweep)
+from .reduce import reduce_report
+
+
+def _parse_flows(spec: Optional[str]) -> Optional[List[FlowConfig]]:
+    """``--flows flang,ours`` filters the default config set by label."""
+    if not spec:
+        return None
+    wanted = [label.strip() for label in spec.split(",") if label.strip()]
+    configs = {config.label: config for config in default_configs()}
+    missing = [label for label in wanted if label not in configs]
+    if missing:
+        known = ", ".join(sorted(configs))
+        raise SystemExit(f"unknown flow config(s) {', '.join(missing)} "
+                         f"(known: {known})")
+    return [configs[label] for label in wanted]
+
+
+def _write_repro(report: KernelReport, out_dir: str, *,
+                 reduced: Optional[str]) -> str:
+    os.makedirs(out_dir, exist_ok=True)
+    path = os.path.join(out_dir, f"seed_{report.seed}.txt")
+    lines = [f"conformance divergence repro — seed {report.seed}", ""]
+    lines.append("divergences:")
+    lines.extend(f"  - {d.describe()}" for d in report.divergences)
+    lines.append("")
+    if reduced is not None:
+        lines.append(f"reduced kernel (reproduce with: python -m "
+                     f"repro.conformance repro --seed {report.seed}):")
+        lines.append(reduced.rstrip())
+        lines.append("")
+    lines.append("original kernel:")
+    lines.append(report.source.rstrip())
+    lines.append("")
+    with open(path, "w") as handle:
+        handle.write("\n".join(lines))
+    return path
+
+
+def _print_report(report: KernelReport) -> None:
+    for divergence in report.divergences:
+        print(f"  {divergence.describe()}")
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    configs = _parse_flows(args.flows)
+    seeds = range(args.start, args.start + args.seeds)
+
+    def progress(seed: int, report: KernelReport) -> None:
+        if not report.ok:
+            print(f"seed {seed}: DIVERGENT "
+                  f"({', '.join(d.kind for d in report.divergences)})")
+        elif args.verbose:
+            print(f"seed {seed}: ok")
+
+    report = run_sweep(seeds, configs, max_workers=args.jobs,
+                       progress=progress)
+    print(report.summary())
+    print(f"service counters: {report.service_counters}")
+    if report.ok:
+        return 0
+    for kernel_report in report.divergent:
+        _print_report(kernel_report)
+        reduced = None
+        if not args.no_reduce:
+            print(f"reducing seed {kernel_report.seed} ...")
+            try:
+                reduced = reduce_report(kernel_report, configs)
+                print(f"  reduced to {len(reduced.splitlines())} lines")
+            except Exception as exc:   # reduction must never mask the find
+                print(f"  reduction failed: {type(exc).__name__}: {exc}")
+        path = _write_repro(kernel_report, args.out, reduced=reduced)
+        print(f"  repro written to {path}")
+    return 1
+
+
+def _cmd_repro(args: argparse.Namespace) -> int:
+    configs = _parse_flows(args.flows)
+    report = check_seed(args.seed, configs)
+    kernel = generate(args.seed)
+    print(f"seed {args.seed}: features: {', '.join(kernel.features)}")
+    if report.ok:
+        print("no divergence — kernel is conformant on every registered "
+              "flow and both engines")
+        return 0
+    _print_report(report)
+    reduced = None
+    if not args.no_reduce:
+        reduced = reduce_report(report, configs)
+        print(f"\nreduced repro ({len(reduced.splitlines())} lines):\n")
+        print(reduced)
+    if args.out:
+        path = _write_repro(report, args.out, reduced=reduced)
+        print(f"repro written to {path}")
+    return 1
+
+
+def _cmd_show(args: argparse.Namespace) -> int:
+    kernel = generate(args.seed)
+    print(kernel.source)
+    print(f"! features: {', '.join(kernel.features)}", file=sys.stderr)
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.conformance",
+        description="differential conformance testing: seeded kernel "
+                    "generator + cross-flow/cross-engine oracle")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_p = sub.add_parser("run", help="sweep a seed range")
+    run_p.add_argument("--seeds", type=int, default=100,
+                       help="number of seeds to sweep (default 100)")
+    run_p.add_argument("--start", type=int, default=0,
+                       help="first seed (default 0)")
+    run_p.add_argument("--jobs", type=int, default=1,
+                       help="process-pool width for the compile service")
+    run_p.add_argument("--flows", help="comma-separated flow config labels "
+                                       "(default: every registered flow + "
+                                       "the no-opt baseline)")
+    run_p.add_argument("--out", default="conformance-repros",
+                       help="directory for divergence repro files")
+    run_p.add_argument("--no-reduce", action="store_true",
+                       help="skip shrinking divergent kernels")
+    run_p.add_argument("--verbose", action="store_true",
+                       help="print every seed, not just divergent ones")
+    run_p.set_defaults(func=_cmd_run)
+
+    repro_p = sub.add_parser("repro", help="re-check and shrink one seed")
+    repro_p.add_argument("--seed", type=int, required=True)
+    repro_p.add_argument("--flows")
+    repro_p.add_argument("--out", help="also write the repro file here")
+    repro_p.add_argument("--no-reduce", action="store_true")
+    repro_p.set_defaults(func=_cmd_repro)
+
+    show_p = sub.add_parser("show", help="print the kernel for a seed")
+    show_p.add_argument("--seed", type=int, required=True)
+    show_p.set_defaults(func=_cmd_show)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except BrokenPipeError:    # e.g. `... show --seed 7 | head`
+        sys.exit(0)

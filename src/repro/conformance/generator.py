@@ -1,0 +1,1004 @@
+"""Seeded, reproducible Fortran kernel generator (Csmith-style).
+
+``generate(seed)`` derives a valid Fortran program from a PRNG seed, built
+directly out of :mod:`repro.frontend.ast_nodes` and typed with the
+:mod:`repro.frontend.ftypes` kind model, then rendered through
+:mod:`repro.conformance.unparse`.  The same seed always produces the same
+program, in any process — the compile service's pool workers regenerate
+kernels by name (``conformance/<seed>``) when jobs cross process boundaries.
+
+The emitted subset covers scalar and array arithmetic over i32/i64/f32/f64
+and logicals, do-loop nests (including negative-step and zero-trip loops),
+do-while loops with ``exit``, if/else-if chains, ``select case`` constructs,
+the supported intrinsics, and deliberately tricky corners: mixed-sign
+division and ``mod``, division by zero (defined as 0 by the shared
+semantics), and NaN creation + comparison.
+
+Two disciplines make differential comparison sound:
+
+* **Integer safety** — every integer expression carries a magnitude bound;
+  when a bound would approach i32 range the expression is wrapped in
+  ``mod(expr, 9973)``, so no engine/flow pair can diverge through
+  wrap-around behaviour.
+* **Float reproducibility** — elementwise float math is bit-identical
+  across flows, but *accumulation order* is not (the vectoriser and the
+  Flang runtime reduce in different orders).  Reductions and loop-carried
+  accumulators are therefore restricted to f64 (where reordering error is
+  ~1e-15 relative, far below the oracle's tolerance) or integers (exact in
+  any order), and values that passed through a reordering reduction are
+  marked *inexact* and never feed comparisons, control flow or int
+  conversions.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..frontend import ast_nodes as ast
+from ..frontend.ftypes import FType
+from ..workloads import Workload
+from .unparse import unparse
+
+#: Wrap modulus for integer-overflow discipline (prime, < 2**14).
+_WRAP = 9973
+#: Integer expressions whose magnitude bound exceeds this get mod-wrapped.
+_INT_LIMIT = 10 ** 7
+#: Float expressions whose magnitude bound exceeds this stop growing
+#: (the builder falls back to bounded operators).
+_REAL_LIMIT = 1e8
+
+
+# ---------------------------------------------------------------------------
+# AST construction helpers
+# ---------------------------------------------------------------------------
+
+
+def _int(value: int) -> ast.Expr:
+    # negative literals render as unary minus, matching what the parser
+    # produces, so generated source is a parse/unparse fixpoint
+    if value < 0:
+        return ast.UnaryOp(op="-", operand=ast.IntLiteral(value=-int(value)))
+    return ast.IntLiteral(value=int(value))
+
+
+def _real(value: float, kind: int = 8) -> ast.Expr:
+    if value < 0:
+        return ast.UnaryOp(op="-",
+                           operand=ast.RealLiteral(value=-float(value),
+                                                   kind=kind))
+    return ast.RealLiteral(value=float(value), kind=kind)
+
+
+def _ref(name: str) -> ast.Identifier:
+    return ast.Identifier(name=name)
+
+
+def _call(name: str, *args: ast.Expr) -> ast.CallOrIndex:
+    return ast.CallOrIndex(name=name, args=list(args))
+
+
+def _bin(op: str, lhs: ast.Expr, rhs: ast.Expr) -> ast.BinaryOp:
+    return ast.BinaryOp(op=op, lhs=lhs, rhs=rhs)
+
+
+def _assign(target: ast.Expr, value: ast.Expr) -> ast.Assignment:
+    return ast.Assignment(target=target, value=value)
+
+
+# ---------------------------------------------------------------------------
+# generator configuration and result
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class GeneratorConfig:
+    """Tunable shape of generated kernels (defaults give ~30-70 line programs)."""
+
+    min_body_segments: int = 5
+    max_body_segments: int = 11
+    max_expr_depth: int = 3
+    min_array_extent: int = 3
+    max_array_extent: int = 8
+    max_loop_nest: int = 2
+    #: probability that a given tricky corner fires (one always does)
+    corner_probability: float = 0.35
+
+
+@dataclass
+class GeneratedKernel:
+    """One generated kernel: seed, AST, rendered source and feature tags."""
+
+    seed: int
+    unit: ast.CompilationUnit
+    source: str
+    features: Tuple[str, ...]
+
+    @property
+    def name(self) -> str:
+        return f"conformance/{self.seed}"
+
+    def workload(self) -> Workload:
+        """Wrap the kernel as a registry-resolvable :class:`Workload`."""
+        return Workload(
+            name=self.name,
+            category="conformance",
+            description=f"generated conformance kernel, seed {self.seed}",
+            source_template=self.source,
+            paper_params={},
+            interp_params={},
+            work_model=lambda p: 1.0,
+        )
+
+
+# ---------------------------------------------------------------------------
+# variable model
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _Var:
+    name: str
+    base: str                      # integer | real | logical
+    kind: int = 4
+    dims: Tuple[int, ...] = ()
+    allocatable: bool = False
+    #: float bit-reproducibility across flows (always True for ints/logicals)
+    exact: bool = True
+    #: magnitude bound of the value (elements, for arrays)
+    bound: float = 0.0
+    #: loop counters and similar are never picked as assignment targets
+    reserved: bool = False
+    written: bool = False
+    #: holds a deliberate NaN; excluded from ordinary expression leaves
+    is_nan: bool = False
+
+    @property
+    def is_array(self) -> bool:
+        return bool(self.dims)
+
+    @property
+    def rank(self) -> int:
+        return len(self.dims)
+
+
+@dataclass
+class _LoopContext:
+    """Loop variables in scope with their guaranteed value ranges."""
+
+    ranges: Dict[str, Tuple[int, int]] = field(default_factory=dict)
+    depth: int = 0
+
+    def child(self, var: str, lo: int, hi: int) -> "_LoopContext":
+        ranges = dict(self.ranges)
+        ranges[var] = (lo, hi)
+        return _LoopContext(ranges=ranges, depth=self.depth + 1)
+
+
+# ---------------------------------------------------------------------------
+# the kernel builder
+# ---------------------------------------------------------------------------
+
+
+class _KernelBuilder:
+    def __init__(self, seed: int, config: GeneratorConfig):
+        self.seed = seed
+        self.config = config
+        self.rng = random.Random((seed + 1) * 0x9E3779B1)
+        self.vars: List[_Var] = []
+        self.body: List[ast.Stmt] = []
+        self.features: List[str] = []
+        self._loop_names = ["i", "j", "k"]
+        self._while_counter = 0
+
+    # ------------------------------------------------------------------ utils
+    def _feature(self, tag: str) -> None:
+        if tag not in self.features:
+            self.features.append(tag)
+
+    def _pick(self, items: Sequence, weights: Sequence[float]):
+        return self.rng.choices(list(items), weights=list(weights), k=1)[0]
+
+    def _scalars(self, base: str, *, written: Optional[bool] = None,
+                 exact: Optional[bool] = None) -> List[_Var]:
+        out = []
+        for v in self.vars:
+            if v.base != base or v.is_array or v.reserved or v.is_nan:
+                continue
+            if written is not None and v.written != written:
+                continue
+            if exact is not None and v.exact != exact:
+                continue
+            out.append(v)
+        return out
+
+    def _arrays(self, base: str) -> List[_Var]:
+        return [v for v in self.vars
+                if v.base == base and v.is_array and v.written]
+
+    # ------------------------------------------------------------ declarations
+    def declare_variables(self) -> None:
+        rng = self.rng
+        cfg = self.config
+        for name in self._loop_names:
+            self.vars.append(_Var(name=name, base="integer", kind=4,
+                                  reserved=True, bound=64))
+        for idx in range(rng.randint(2, 4)):
+            self.vars.append(_Var(name=f"n{idx}", base="integer", kind=4))
+        for idx in range(rng.randint(1, 2)):
+            self.vars.append(_Var(name=f"m{idx}", base="integer", kind=8))
+        for idx in range(rng.randint(2, 3)):
+            self.vars.append(_Var(name=f"d{idx}", base="real", kind=8))
+        for idx in range(rng.randint(0, 2)):
+            self.vars.append(_Var(name=f"x{idx}", base="real", kind=4))
+        for idx in range(rng.randint(0, 2)):
+            self.vars.append(_Var(name=f"lg{idx}", base="logical"))
+        n_arrays = rng.randint(1, 3)
+        for idx in range(n_arrays):
+            base, kind = self._pick([("integer", 4), ("real", 8), ("real", 4)],
+                                    [3, 3, 1])
+            rank = self._pick([1, 2], [3, 1])
+            dims = tuple(rng.randint(cfg.min_array_extent, cfg.max_array_extent)
+                         for _ in range(rank))
+            allocatable = rank == 1 and rng.random() < 0.3
+            prefix = "a" if base == "integer" else "v"
+            self.vars.append(_Var(name=f"{prefix}{idx}", base=base, kind=kind,
+                                  dims=dims, allocatable=allocatable))
+            if allocatable:
+                self._feature("allocatable")
+
+    def declarations(self) -> List[ast.Declaration]:
+        decls: List[ast.Declaration] = []
+        for v in self.vars:
+            spec = ast.TypeSpec(name=v.base,
+                                kind=v.kind if v.base != "logical" else 0)
+            entity = ast.EntityDecl(name=v.name)
+            attributes: List[str] = []
+            if v.is_array:
+                if v.allocatable:
+                    attributes.append("allocatable")
+                    entity.dims = [ast.DimSpec(deferred=True)
+                                   for _ in v.dims]
+                else:
+                    entity.dims = [ast.DimSpec(upper=_int(extent))
+                                   for extent in v.dims]
+            decls.append(ast.Declaration(type_spec=spec, entities=[entity],
+                                         attributes=attributes))
+        return decls
+
+    # ---------------------------------------------------------------- integers
+    def int_expr(self, ctx: _LoopContext, depth: int) -> Tuple[ast.Expr, float]:
+        rng = self.rng
+        if depth <= 0:
+            return self._int_leaf(ctx)
+        choice = self._pick(
+            ["leaf", "add", "sub", "mul", "div", "mod", "minmax", "abs",
+             "merge", "reduction"],
+            [4, 3, 3, 2, 2, 2, 1.5, 1, 1, 1])
+        if choice == "leaf":
+            return self._int_leaf(ctx)
+        if choice in ("add", "sub"):
+            lhs, bl = self.int_expr(ctx, depth - 1)
+            rhs, br = self.int_expr(ctx, depth - 1)
+            return self._wrap_int(_bin("+" if choice == "add" else "-",
+                                       lhs, rhs), bl + br)
+        if choice == "mul":
+            lhs, bl = self.int_expr(ctx, depth - 1)
+            rhs, br = self.int_expr(ctx, depth - 1)
+            if bl * br > _INT_LIMIT:
+                lhs, bl = _call("mod", lhs, _int(_WRAP)), _WRAP
+            if bl * br > _INT_LIMIT:
+                rhs, br = _call("mod", rhs, _int(_WRAP)), _WRAP
+            return self._wrap_int(_bin("*", lhs, rhs), bl * br)
+        if choice == "div":
+            # divisor may be negative or zero: the shared semantics define
+            # x/0 == 0 and truncate toward zero — a deliberate tricky corner
+            lhs, bl = self.int_expr(ctx, depth - 1)
+            rhs, _ = self.int_expr(ctx, depth - 1)
+            self._feature("int-division")
+            return _bin("/", lhs, rhs), bl
+        if choice == "mod":
+            lhs, bl = self.int_expr(ctx, depth - 1)
+            rhs, br = self.int_expr(ctx, depth - 1)
+            self._feature("int-mod")
+            return _call("mod", lhs, rhs), max(bl, br)
+        if choice == "minmax":
+            name = rng.choice(["min", "max"])
+            lhs, bl = self.int_expr(ctx, depth - 1)
+            rhs, br = self.int_expr(ctx, depth - 1)
+            return _call(name, lhs, rhs), max(bl, br)
+        if choice == "abs":
+            operand, bound = self.int_expr(ctx, depth - 1)
+            return _call("abs", operand), bound
+        if choice == "merge":
+            lhs, bl = self.int_expr(ctx, depth - 1)
+            rhs, br = self.int_expr(ctx, depth - 1)
+            cond = self.logical_expr(ctx, depth - 1)
+            self._feature("merge")
+            return _call("merge", lhs, rhs, cond), max(bl, br)
+        # reduction over an integer array (order-independent: exact)
+        arrays = self._arrays("integer")
+        if not arrays:
+            return self._int_leaf(ctx)
+        array = rng.choice(arrays)
+        kind = rng.choice(["sum", "maxval", "minval"])
+        self._feature(f"int-{kind}")
+        size = 1
+        for extent in array.dims:
+            size *= extent
+        bound = array.bound * (size if kind == "sum" else 1)
+        return self._wrap_int(_call(kind, _ref(array.name)), bound)
+
+    def _int_leaf(self, ctx: _LoopContext) -> Tuple[ast.Expr, float]:
+        rng = self.rng
+        options: List[Tuple[str, float]] = [("literal", 3)]
+        if self._scalars("integer", written=True):
+            options.append(("var", 4))
+        if ctx.ranges:
+            options.append(("loop", 3))
+        if self._arrays("integer"):
+            options.append(("element", 2))
+            options.append(("size", 0.5))
+        choice = self._pick([o for o, _ in options], [w for _, w in options])
+        if choice == "literal":
+            value = rng.randint(-99, 99)
+            return _int(value), abs(value)
+        if choice == "var":
+            var = rng.choice(self._scalars("integer", written=True))
+            return _ref(var.name), var.bound
+        if choice == "loop":
+            name = rng.choice(list(ctx.ranges))
+            lo, hi = ctx.ranges[name]
+            return _ref(name), max(abs(lo), abs(hi))
+        if choice == "size":
+            array = rng.choice(self._arrays("integer"))
+            return _call("size", _ref(array.name)), max(array.dims)
+        array = rng.choice(self._arrays("integer"))
+        return self._element_ref(array, ctx), array.bound
+
+    def _wrap_int(self, expr: ast.Expr, bound: float) -> Tuple[ast.Expr, float]:
+        if bound > _INT_LIMIT:
+            self._feature("mod-wrap")
+            return _call("mod", expr, _int(_WRAP)), _WRAP - 1
+        return expr, bound
+
+    def _index_expr(self, extent: int, ctx: _LoopContext) -> ast.Expr:
+        """An expression guaranteed to land in ``1..extent``."""
+        rng = self.rng
+        in_range = [(name, (lo, hi)) for name, (lo, hi) in ctx.ranges.items()
+                    if 1 <= lo and hi <= extent]
+        roll = rng.random()
+        if in_range and roll < 0.55:
+            name, (lo, hi) = rng.choice(in_range)
+            if rng.random() < 0.3 and hi + 1 <= extent + 1:
+                # reversed access: extent+1-iv stays within 1..extent when
+                # the loop range itself is within 1..extent
+                return _bin("-", _int(extent + 1), _ref(name))
+            return _ref(name)
+        if roll < 0.8:
+            return _int(rng.randint(1, extent))
+        # clamped dynamic index: 1 + mod(abs(e), extent)
+        inner, _ = self.int_expr(ctx, 1)
+        self._feature("clamped-index")
+        return _bin("+", _int(1),
+                    _call("mod", _call("abs", inner), _int(extent)))
+
+    def _element_ref(self, array: _Var, ctx: _LoopContext) -> ast.Expr:
+        indices = [self._index_expr(extent, ctx) for extent in array.dims]
+        return ast.CallOrIndex(name=array.name, args=indices)
+
+    # ------------------------------------------------------------------- reals
+    def real_expr(self, ctx: _LoopContext, depth: int, *,
+                  need_exact: bool = False) -> Tuple[ast.Expr, float, bool]:
+        rng = self.rng
+        if depth <= 0:
+            return self._real_leaf(ctx, need_exact)
+        choice = self._pick(
+            ["leaf", "add", "sub", "mul", "divide", "sqrt", "trig", "log",
+             "minmax", "abs", "merge", "convert"],
+            [4, 3, 3, 2.5, 1.5, 1, 1.5, 0.8, 1, 1, 0.8, 2])
+        if choice == "leaf":
+            return self._real_leaf(ctx, need_exact)
+        if choice in ("add", "sub", "mul"):
+            lhs, bl, el = self.real_expr(ctx, depth - 1, need_exact=need_exact)
+            rhs, br, er = self.real_expr(ctx, depth - 1, need_exact=need_exact)
+            op = {"add": "+", "sub": "-", "mul": "*"}[choice]
+            bound = bl + br if op in "+-" else bl * br
+            if op == "*" and bound > _REAL_LIMIT:
+                op, bound = "+", bl + br
+            return _bin(op, lhs, rhs), bound, el and er
+        if choice == "divide":
+            # guarded division: denominator >= 1.5 by construction
+            lhs, bl, el = self.real_expr(ctx, depth - 1, need_exact=need_exact)
+            rhs, _, er = self.real_expr(ctx, depth - 1, need_exact=need_exact)
+            self._feature("guarded-divide")
+            denominator = _bin("+", _real(1.5), _call("abs", rhs))
+            return _bin("/", lhs, denominator), bl / 1.5, el and er
+        if choice == "sqrt":
+            operand, bound, exact = self.real_expr(ctx, depth - 1,
+                                                   need_exact=need_exact)
+            return _call("sqrt", _call("abs", operand)), bound ** 0.5, exact
+        if choice == "trig":
+            name = rng.choice(["sin", "cos", "tanh", "atan"])
+            operand, _, exact = self.real_expr(ctx, depth - 1,
+                                               need_exact=need_exact)
+            return _call(name, operand), 1.6, exact
+        if choice == "log":
+            operand, bound, exact = self.real_expr(ctx, depth - 1,
+                                                   need_exact=need_exact)
+            guarded = _bin("+", _real(1.5), _call("abs", operand))
+            import math
+            return _call("log", guarded), math.log(1.5 + bound), exact
+        if choice == "minmax":
+            name = rng.choice(["min", "max"])
+            lhs, bl, el = self.real_expr(ctx, depth - 1, need_exact=need_exact)
+            rhs, br, er = self.real_expr(ctx, depth - 1, need_exact=need_exact)
+            return _call(name, lhs, rhs), max(bl, br), el and er
+        if choice == "abs":
+            operand, bound, exact = self.real_expr(ctx, depth - 1,
+                                                   need_exact=need_exact)
+            return _call("abs", operand), bound, exact
+        if choice == "merge":
+            lhs, bl, el = self.real_expr(ctx, depth - 1, need_exact=need_exact)
+            rhs, br, er = self.real_expr(ctx, depth - 1, need_exact=need_exact)
+            cond = self.logical_expr(ctx, depth - 1)
+            return _call("merge", lhs, rhs, cond), max(bl, br), el and er
+        # convert: an integer expression lifted to real (always exact)
+        inner, bound = self.int_expr(ctx, depth - 1)
+        name = rng.choice(["dble", "real"])
+        return _call(name, inner), bound, True
+
+    def _real_leaf(self, ctx: _LoopContext,
+                   need_exact: bool) -> Tuple[ast.Expr, float, bool]:
+        rng = self.rng
+        candidates = self._scalars("real", written=True,
+                                   exact=True if need_exact else None)
+        options: List[Tuple[str, float]] = [("literal", 3)]
+        if candidates:
+            options.append(("var", 4))
+        arrays = [a for a in self._arrays("real")
+                  if a.exact or not need_exact]
+        if arrays:
+            options.append(("element", 2))
+        options.append(("convert", 2))
+        choice = self._pick([o for o, _ in options], [w for _, w in options])
+        if choice == "literal":
+            value = rng.randint(-2000, 2000) / 16.0
+            kind = rng.choice([8, 8, 8, 4])
+            return _real(value, kind), abs(value), True
+        if choice == "var":
+            var = rng.choice(candidates)
+            return _ref(var.name), var.bound, var.exact
+        if choice == "element":
+            array = rng.choice(arrays)
+            return self._element_ref(array, ctx), array.bound, array.exact
+        inner, bound = self.int_expr(ctx, 1)
+        return _call("dble", inner), bound, True
+
+    # ---------------------------------------------------------------- logicals
+    def logical_expr(self, ctx: _LoopContext, depth: int) -> ast.Expr:
+        rng = self.rng
+        choice = self._pick(["int-cmp", "real-cmp", "var", "literal", "combine",
+                             "not"],
+                            [4, 2, 1.5 if self._scalars("logical", written=True)
+                             else 0, 1, 2 if depth > 0 else 0,
+                             1 if depth > 0 else 0])
+        cmp_ops = ["==", "/=", "<", "<=", ">", ">="]
+        if choice == "int-cmp":
+            lhs, _ = self.int_expr(ctx, max(depth - 1, 0))
+            rhs, _ = self.int_expr(ctx, max(depth - 1, 0))
+            return _bin(rng.choice(cmp_ops), lhs, rhs)
+        if choice == "real-cmp":
+            # only bit-reproducible float values may steer control flow
+            lhs, _, _ = self.real_expr(ctx, max(depth - 1, 0), need_exact=True)
+            rhs, _, _ = self.real_expr(ctx, max(depth - 1, 0), need_exact=True)
+            self._feature("real-compare")
+            return _bin(rng.choice(cmp_ops), lhs, rhs)
+        if choice == "var":
+            return _ref(rng.choice(self._scalars("logical", written=True)).name)
+        if choice == "literal":
+            return ast.LogicalLiteral(value=rng.random() < 0.5)
+        if choice == "not":
+            return ast.UnaryOp(op=".not.",
+                               operand=self.logical_expr(ctx, depth - 1))
+        op = rng.choice([".and.", ".or."])
+        return _bin(op, self.logical_expr(ctx, depth - 1),
+                    self.logical_expr(ctx, depth - 1))
+
+    # ------------------------------------------------------------- assignments
+    def _clamp_loop_int(self, ctx: _LoopContext, expr: ast.Expr,
+                        bound: float) -> Tuple[ast.Expr, float]:
+        """Inside loops values feed back into themselves across iterations,
+        so static bounds no longer hold: every loop-carried write re-wraps.
+        ``mod(x, 9973)`` is the identity for already-small values, so this
+        costs nothing semantically."""
+        if ctx.depth > 0:
+            self._feature("mod-wrap")
+            return _call("mod", expr, _int(_WRAP)), _WRAP - 1
+        return self._wrap_int(expr, bound)
+
+    def _clamp_loop_real(self, ctx: _LoopContext, expr: ast.Expr, bound: float,
+                         kind: int) -> Tuple[ast.Expr, float]:
+        """Clamp loop-carried reals into +-2^20 (exact, order-independent,
+        identity for in-range values — no discontinuity to amplify)."""
+        if ctx.depth > 0:
+            clamp = 1048576.0
+            return (_call("min", _call("max", expr, _real(-clamp, 8)),
+                          _real(clamp, 8)), clamp)
+        return expr, bound
+
+    def _assign_scalar(self, ctx: _LoopContext, *,
+                       depth: Optional[int] = None) -> ast.Stmt:
+        rng = self.rng
+        depth = depth if depth is not None else rng.randint(1, self.config.max_expr_depth)
+        targets = [v for v in self.vars
+                   if not v.is_array and not v.reserved and not v.is_nan]
+        var = rng.choice(targets)
+        if var.base == "integer":
+            expr, bound = self.int_expr(ctx, depth)
+            expr, bound = self._clamp_loop_int(ctx, expr, bound)
+            var.bound = max(var.bound, bound)
+            var.written = True
+            return _assign(_ref(var.name), expr)
+        if var.base == "real":
+            expr, bound, exact = self.real_expr(ctx, depth)
+            expr, bound = self._clamp_loop_real(ctx, expr, bound, var.kind)
+            var.bound = max(var.bound, bound)
+            var.exact = var.exact and exact if var.written else exact
+            var.written = True
+            return _assign(_ref(var.name), expr)
+        var.written = True
+        return _assign(_ref(var.name), self.logical_expr(ctx, depth))
+
+    def _assign_element(self, array: _Var, ctx: _LoopContext) -> ast.Stmt:
+        target = self._element_ref(array, ctx)
+        if array.base == "integer":
+            expr, bound = self.int_expr(ctx, 2)
+            expr, bound = self._clamp_loop_int(ctx, expr, bound)
+            array.bound = max(array.bound, bound)
+        else:
+            expr, bound, exact = self.real_expr(ctx, 2)
+            expr, bound = self._clamp_loop_real(ctx, expr, bound, array.kind)
+            array.bound = max(array.bound, bound)
+            array.exact = array.exact and exact
+        array.written = True
+        return _assign(target, expr)
+
+    # ------------------------------------------------------------------- loops
+    def _loop_over(self, extent: int, ctx: _LoopContext,
+                   make_body, *, reverse: bool = False) -> ast.DoLoop:
+        name = self._loop_names[ctx.depth % len(self._loop_names)]
+        inner = ctx.child(name, 1, extent)
+        body = make_body(inner)
+        if reverse:
+            self._feature("negative-step-loop")
+            return ast.DoLoop(var=name, start=_int(extent), end=_int(1),
+                              step=_int(-1), body=body)
+        return ast.DoLoop(var=name, start=_int(1), end=_int(extent), body=body)
+
+    def _fill_array(self, array: _Var, ctx: _LoopContext) -> ast.Stmt:
+        """Initialisation loop (nest) writing every element of ``array``."""
+        def element_value(inner: _LoopContext) -> ast.Expr:
+            if array.base == "integer":
+                expr, bound = self.int_expr(inner, 2)
+                expr, bound = self._wrap_int(expr, bound)
+                array.bound = max(array.bound, bound)
+                return expr
+            expr, bound, exact = self.real_expr(inner, 2)
+            array.bound = max(array.bound, bound)
+            array.exact = array.exact and exact
+            return expr
+
+        if array.rank == 1:
+            def body(inner: _LoopContext) -> List[ast.Stmt]:
+                target = ast.CallOrIndex(name=array.name,
+                                         args=[_ref(list(inner.ranges)[-1])])
+                return [_assign(target, element_value(inner))]
+            loop = self._loop_over(array.dims[0], ctx, body,
+                                   reverse=self.rng.random() < 0.2)
+        else:
+            def inner_body(outer_name: str):
+                def body(inner: _LoopContext) -> List[ast.Stmt]:
+                    names = list(inner.ranges)
+                    target = ast.CallOrIndex(
+                        name=array.name,
+                        args=[_ref(names[-1]), _ref(outer_name)])
+                    return [_assign(target, element_value(inner))]
+                return body
+
+            def outer(inner: _LoopContext) -> List[ast.Stmt]:
+                outer_name = list(inner.ranges)[-1]
+                return [self._loop_over(array.dims[0], inner,
+                                        inner_body(outer_name))]
+            loop = self._loop_over(array.dims[1], ctx, outer)
+        array.written = True
+        return loop
+
+    # ----------------------------------------------------------- body segments
+    def _segment_menu(self, ctx: _LoopContext) -> List[Tuple[str, float]]:
+        menu = [("scalar", 4), ("if", 2.5), ("select", 1.5), ("loop", 3),
+                ("while", 1.2), ("reduction", 2), ("element-loop", 2)]
+        return menu
+
+    def emit_segment(self, ctx: _LoopContext) -> List[ast.Stmt]:
+        menu = self._segment_menu(ctx)
+        choice = self._pick([m for m, _ in menu], [w for _, w in menu])
+        return getattr(self, f"_segment_{choice.replace('-', '_')}")(ctx)
+
+    def _segment_scalar(self, ctx: _LoopContext) -> List[ast.Stmt]:
+        return [self._assign_scalar(ctx)
+                for _ in range(self.rng.randint(1, 2))]
+
+    def _segment_if(self, ctx: _LoopContext) -> List[ast.Stmt]:
+        rng = self.rng
+        self._feature("if-chain")
+        node = ast.IfBlock()
+        for _ in range(rng.randint(1, 3)):
+            node.conditions.append(self.logical_expr(ctx, 2))
+            node.bodies.append([self._assign_scalar(ctx, depth=2)
+                                for _ in range(rng.randint(1, 2))])
+        if rng.random() < 0.7:
+            node.else_body = [self._assign_scalar(ctx, depth=2)]
+        return [node]
+
+    def _segment_select(self, ctx: _LoopContext) -> List[ast.Stmt]:
+        rng = self.rng
+        self._feature("select-case")
+        selectors = self._scalars("integer", written=True)
+        if ctx.ranges and rng.random() < 0.5:
+            selector: ast.Expr = _ref(rng.choice(list(ctx.ranges)))
+        elif selectors:
+            selector = _ref(rng.choice(selectors).name)
+        else:
+            selector, _ = self.int_expr(ctx, 1)
+        node = ast.SelectCase(selector=selector)
+        values = rng.sample(range(-8, 12), k=12)
+        cursor = 0
+        for _ in range(rng.randint(2, 3)):
+            items: List[ast.CaseRange] = []
+            if rng.random() < 0.35:
+                lo, hi = sorted((values[cursor], values[cursor + 1]))
+                items.append(ast.CaseRange(lower=_int(lo), upper=_int(hi),
+                                           is_range=True))
+                cursor += 2
+            else:
+                items.append(ast.CaseRange(lower=_int(values[cursor]),
+                                           upper=_int(values[cursor])))
+                cursor += 1
+            if rng.random() < 0.3:
+                items.append(ast.CaseRange(lower=_int(values[cursor]),
+                                           upper=_int(values[cursor])))
+                cursor += 1
+            node.cases.append(ast.CaseBlock(
+                items=items,
+                body=[self._assign_scalar(ctx, depth=2)]))
+        if rng.random() < 0.8:
+            node.default_body = [self._assign_scalar(ctx, depth=2)]
+        return [node]
+
+    def _segment_loop(self, ctx: _LoopContext) -> List[ast.Stmt]:
+        rng = self.rng
+        if ctx.depth >= self.config.max_loop_nest:
+            return self._segment_scalar(ctx)
+        extent = rng.randint(2, 8)
+
+        def body(inner: _LoopContext) -> List[ast.Stmt]:
+            stmts: List[ast.Stmt] = []
+            for _ in range(rng.randint(1, 2)):
+                arrays = self._arrays("integer") + self._arrays("real")
+                if arrays and rng.random() < 0.6:
+                    stmts.append(self._assign_element(rng.choice(arrays), inner))
+                else:
+                    stmts.append(self._assign_scalar(inner, depth=2))
+            if inner.depth < self.config.max_loop_nest and rng.random() < 0.3:
+                stmts.extend(self._segment_loop(inner))
+            return stmts
+
+        self._feature("do-loop")
+        return [self._loop_over(extent, ctx, body,
+                                reverse=rng.random() < 0.2)]
+
+    def _segment_while(self, ctx: _LoopContext) -> List[ast.Stmt]:
+        rng = self.rng
+        if ctx.depth >= self.config.max_loop_nest:
+            return self._segment_scalar(ctx)
+        self._feature("do-while")
+        counter = f"w{self._while_counter}"
+        self._while_counter += 1
+        var = _Var(name=counter, base="integer", kind=4, reserved=True,
+                   bound=16, written=True)
+        self.vars.append(var)
+        trips = rng.randint(2, 6)
+        # the while body re-executes: give assignments loop discipline
+        inner = _LoopContext(ranges=dict(ctx.ranges), depth=ctx.depth + 1)
+        body: List[ast.Stmt] = [self._assign_scalar(inner, depth=2)]
+        if rng.random() < 0.3:
+            # early exit half-way through
+            body.append(ast.IfBlock(
+                conditions=[_bin("<", _ref(counter), _int(trips // 2 + 1))],
+                bodies=[[ast.ExitStmt()]]))
+            self._feature("exit")
+        body.append(_assign(_ref(counter),
+                            _bin("-", _ref(counter), _int(1))))
+        return [
+            _assign(_ref(counter), _int(trips)),
+            ast.DoWhile(condition=_bin(">", _ref(counter), _int(0)),
+                        body=body),
+        ]
+
+    def _segment_reduction(self, ctx: _LoopContext) -> List[ast.Stmt]:
+        rng = self.rng
+        if ctx.depth >= self.config.max_loop_nest:
+            return self._segment_scalar(ctx)
+        arrays = [a for a in self._arrays("integer") + self._arrays("real")
+                  if a.rank == 1 and not (a.base == "real" and a.kind == 4)]
+        if not arrays:
+            return self._segment_scalar(ctx)
+        array = rng.choice(arrays)
+        if array.base == "integer":
+            accs = self._scalars("integer")
+        else:
+            accs = [v for v in self._scalars("real") if v.kind == 8]
+        if not accs:
+            return self._segment_scalar(ctx)
+        acc = rng.choice(accs)
+        self._feature("loop-reduction")
+
+        def body(inner: _LoopContext) -> List[ast.Stmt]:
+            element = ast.CallOrIndex(name=array.name,
+                                      args=[_ref(list(inner.ranges)[-1])])
+            return [_assign(_ref(acc.name),
+                            _bin("+", _ref(acc.name), element))]
+
+        size = array.dims[0]
+        init = _assign(_ref(acc.name),
+                       _int(0) if acc.base == "integer" else _real(0.0, 8))
+        acc.written = True
+        if acc.base == "integer":
+            acc.bound = max(acc.bound, array.bound * size)
+            stmts: List[ast.Stmt] = [init,
+                                     self._loop_over(size, ctx, body)]
+            wrapped, acc.bound = self._wrap_int(_ref(acc.name), acc.bound)
+            if not isinstance(wrapped, ast.Identifier):
+                stmts.append(_assign(_ref(acc.name), wrapped))
+            return stmts
+        # float accumulation order differs between flows once vectorised:
+        # the accumulator is no longer bit-reproducible across flows
+        acc.exact = False
+        acc.bound = max(acc.bound, array.bound * size)
+        return [init, self._loop_over(size, ctx, body)]
+
+    def _segment_element_loop(self, ctx: _LoopContext) -> List[ast.Stmt]:
+        rng = self.rng
+        if ctx.depth >= self.config.max_loop_nest:
+            return self._segment_scalar(ctx)
+        arrays = [a for a in self._arrays("integer") + self._arrays("real")
+                  if a.rank == 1]
+        if not arrays:
+            return self._segment_scalar(ctx)
+        array = rng.choice(arrays)
+        extent = array.dims[0]
+        self._feature("dependence-chain")
+
+        def body(inner: _LoopContext) -> List[ast.Stmt]:
+            name = list(inner.ranges)[-1]
+            # a(i) = f(a(i-1+1)) style chain within bounds: use max(i-1, 1)
+            prev = ast.CallOrIndex(
+                name=array.name,
+                args=[_call("max", _bin("-", _ref(name), _int(1)), _int(1))])
+            if array.base == "integer":
+                extra, bound = self.int_expr(inner, 1)
+                value, bound = self._clamp_loop_int(
+                    inner, _bin("+", prev, extra), array.bound + bound)
+                array.bound = max(array.bound, bound)
+            else:
+                extra, bound, exact = self.real_expr(inner, 1)
+                value, bound = self._clamp_loop_real(
+                    inner, _bin("+", prev, extra),
+                    array.bound + bound * extent, array.kind)
+                array.bound = max(array.bound, bound)
+                array.exact = array.exact and exact
+            target = ast.CallOrIndex(name=array.name, args=[_ref(name)])
+            return [_assign(target, value)]
+
+        return [self._loop_over(extent, ctx, body)]
+
+    # ----------------------------------------------------------------- corners
+    def corner_mixed_sign_division(self, ctx: _LoopContext) -> List[ast.Stmt]:
+        rng = self.rng
+        self._feature("corner-mixed-sign-division")
+        ints = self._scalars("integer", written=True)
+        if len(ints) < 2:
+            return []
+        a, b = rng.sample(ints, 2)
+        target = rng.choice(ints)
+        numerator = _bin("-", _int(0), _ref(a.name)) \
+            if rng.random() < 0.5 else _ref(a.name)
+        denominator_value = rng.choice([-3, -2, 0, 2, 3])
+        denominator = _ref(b.name) if rng.random() < 0.5 \
+            else _int(denominator_value)
+        quotient = _bin("/", numerator, denominator)
+        remainder = _call("mod", numerator, denominator)
+        target.bound = max(target.bound, a.bound, b.bound)
+        target.written = True
+        return [_assign(_ref(target.name),
+                        _bin("+", quotient, remainder))]
+
+    def corner_zero_trip_loop(self, ctx: _LoopContext) -> List[ast.Stmt]:
+        rng = self.rng
+        self._feature("corner-zero-trip-loop")
+        name = self._loop_names[ctx.depth % len(self._loop_names)]
+        inner = ctx.child(name, 5, 4)
+        # the body must not execute: poison a scalar if it ever runs
+        targets = self._scalars("integer")
+        if not targets:
+            return []
+        victim = rng.choice(targets)
+        victim.written = True
+        body = [_assign(_ref(victim.name), _int(-77777))]
+        start, end = (_int(5), _int(4)) if rng.random() < 0.5 \
+            else (_int(1), _int(0))
+        return [ast.DoLoop(var=name, start=start, end=end, body=body)]
+
+    def corner_nan(self, ctx: _LoopContext) -> List[ast.Stmt]:
+        rng = self.rng
+        self._feature("corner-nan")
+        nan_var = _Var(name="qnan", base="real", kind=8, is_nan=True,
+                       written=True)
+        self.vars.append(nan_var)
+        reals = self._scalars("real", written=True, exact=True)
+        seed_expr: ast.Expr
+        if reals and rng.random() < 0.5:
+            seed_expr = _call("abs", _ref(rng.choice(reals).name))
+        else:
+            seed_expr = _real(abs(rng.randint(1, 50)) / 4.0, 8)
+        # sqrt of a strictly negative value: a quiet NaN on every engine
+        stmts: List[ast.Stmt] = [
+            _assign(_ref("qnan"),
+                    _call("sqrt", _bin("-", _real(-2.0, 8), seed_expr))),
+        ]
+        ints = self._scalars("integer")
+        if ints:
+            flag = rng.choice(ints)
+            flag.written = True
+            flag.bound = max(flag.bound, 9)
+            # NaN-aware comparison semantics: /= is unordered-true, the
+            # ordered predicates are false, and either branch is deterministic
+            stmts.append(_assign(
+                _ref(flag.name),
+                _bin("+",
+                     _call("merge", _int(4), _int(2),
+                           _bin("/=", _ref("qnan"), _ref("qnan"))),
+                     _call("merge", _int(1), _int(0),
+                           _bin(">", _ref("qnan"), _real(0.0, 8))))))
+            stmts.append(ast.IfBlock(
+                conditions=[_bin("<=", _ref("qnan"), _real(1e9, 8))],
+                bodies=[[_assign(_ref(flag.name),
+                                 _bin("-", _int(0), _ref(flag.name)))]]))
+        return stmts
+
+    def corner_negative_step(self, ctx: _LoopContext) -> List[ast.Stmt]:
+        self._feature("corner-negative-step")
+        arrays = [a for a in self._arrays("integer") if a.rank == 1]
+        if not arrays:
+            return []
+        array = self.rng.choice(arrays)
+
+        def body(inner: _LoopContext) -> List[ast.Stmt]:
+            return [self._assign_element(array, inner)]
+
+        return [self._loop_over(array.dims[0], ctx, body, reverse=True)]
+
+    # ------------------------------------------------------------------ prints
+    def emit_prints(self) -> List[ast.Stmt]:
+        rng = self.rng
+        stmts: List[ast.Stmt] = []
+        int_items: List[ast.Expr] = []
+        for var in self.vars:
+            if var.is_array or not var.written:
+                continue
+            if var.base == "integer" and not var.reserved:
+                int_items.append(_ref(var.name))
+            elif var.base == "logical":
+                int_items.append(_call("merge", _int(1), _int(0),
+                                       _ref(var.name)))
+        while int_items:
+            take = min(len(int_items), rng.randint(2, 4))
+            stmts.append(ast.PrintStmt(items=int_items[:take]))
+            int_items = int_items[take:]
+        for var in self.vars:
+            if var.is_array or var.base != "real" or not var.written:
+                continue
+            # f32 values print through dble() so both flows format the same
+            # widened f64 value regardless of how they box float32 scalars
+            item = _ref(var.name) if var.kind == 8 else _call("dble",
+                                                              _ref(var.name))
+            stmts.append(ast.PrintStmt(items=[item]))
+        for array in self._arrays("integer"):
+            stmts.append(ast.PrintStmt(
+                items=[_call("sum", _ref(array.name)),
+                       _call("maxval", _ref(array.name)),
+                       _call("minval", _ref(array.name))]))
+        for array in self._arrays("real"):
+            # maxval/minval are order-independent (exact on any engine/flow);
+            # sum is only printed for f64 where reorder error ~1e-15 rel.
+            items = [_call("dble", _call("maxval", _ref(array.name))),
+                     _call("dble", _call("minval", _ref(array.name)))]
+            if array.kind == 8:
+                items.append(_call("sum", _ref(array.name)))
+            stmts.append(ast.PrintStmt(items=items))
+        return stmts
+
+    # ------------------------------------------------------------------- build
+    def build(self) -> ast.Subprogram:
+        rng = self.rng
+        cfg = self.config
+        ctx = _LoopContext()
+        self.declare_variables()
+        body: List[ast.Stmt] = []
+        # allocations first, then scalar seeds, then array fills
+        for var in self.vars:
+            if var.is_array and var.allocatable:
+                body.append(ast.AllocateStmt(allocations=[
+                    (var.name, [_int(extent) for extent in var.dims])]))
+        for var in list(self.vars):
+            if var.is_array or var.reserved:
+                continue
+            if var.base == "integer":
+                value = rng.randint(-60, 99)
+                body.append(_assign(_ref(var.name), _int(value)))
+                var.bound = abs(value)
+            elif var.base == "real":
+                value = rng.randint(-800, 800) / 16.0
+                body.append(_assign(_ref(var.name), _real(value, var.kind)))
+                var.bound = abs(value)
+            else:
+                body.append(_assign(_ref(var.name),
+                                    ast.LogicalLiteral(value=rng.random() < 0.5)))
+            var.written = True
+        for var in list(self.vars):
+            if var.is_array:
+                body.append(self._fill_array(var, ctx))
+        # main body segments
+        for _ in range(rng.randint(cfg.min_body_segments,
+                                   cfg.max_body_segments)):
+            body.extend(self.emit_segment(ctx))
+        # tricky corners: one guaranteed, the rest probabilistic
+        corners = [self.corner_mixed_sign_division, self.corner_zero_trip_loop,
+                   self.corner_nan, self.corner_negative_step]
+        guaranteed = rng.randrange(len(corners))
+        for index, corner in enumerate(corners):
+            if index == guaranteed or rng.random() < cfg.corner_probability:
+                body.extend(corner(ctx))
+        body.extend(self.emit_prints())
+        return ast.Subprogram(kind="program", name=f"conf{self.seed}",
+                              declarations=self.declarations(), body=body)
+
+
+# ---------------------------------------------------------------------------
+# public API
+# ---------------------------------------------------------------------------
+
+
+def generate(seed: int,
+             config: Optional[GeneratorConfig] = None) -> GeneratedKernel:
+    """Deterministically derive a conformance kernel from ``seed``."""
+    builder = _KernelBuilder(int(seed), config or GeneratorConfig())
+    program = builder.build()
+    unit = ast.CompilationUnit(subprograms=[program])
+    return GeneratedKernel(seed=int(seed), unit=unit, source=unparse(unit),
+                           features=tuple(builder.features))
+
+
+def family_factory(rest: str, **kwargs) -> Workload:
+    """Resolve ``conformance/<seed>`` names for the workload registry."""
+    try:
+        seed = int(rest)
+    except ValueError:
+        raise KeyError(f"conformance workload names are 'conformance/<seed>', "
+                       f"got rest {rest!r}") from None
+    return generate(seed, **kwargs).workload()
+
+
+__all__ = ["GeneratedKernel", "GeneratorConfig", "family_factory", "generate"]

@@ -1,0 +1,301 @@
+"""AST-level shrinking reducer for divergent conformance kernels.
+
+Given a kernel source and a predicate ("does this still show the
+divergence?"), :func:`reduce_source` greedily applies semantic-preserving-ish
+shrink edits — statement deletion, hoisting construct bodies, dropping print
+items, replacing expressions by their subexpressions, garbage-collecting
+unused declarations — keeping each edit only if the predicate still holds.
+The result is a small, self-contained repro: reduction never needs the
+original seed, only the parser and the unparser.
+
+The predicate is authoritative: edits that produce invalid programs simply
+fail it (every flow rejects them, which no longer matches the original
+divergence signature) and are rolled back.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, List, Optional, Sequence
+
+from ..frontend import ast_nodes as ast
+from ..frontend.parser import parse_source
+from .oracle import FlowConfig, KernelReport, check_kernel
+from .unparse import UnparseError, unparse
+
+Predicate = Callable[[str], bool]
+
+
+# ---------------------------------------------------------------------------
+# predicate construction
+# ---------------------------------------------------------------------------
+
+
+def divergence_signature(report: KernelReport) -> frozenset:
+    return frozenset((d.kind, d.left, d.right) for d in report.divergences)
+
+
+def matching_predicate(report: KernelReport,
+                       configs: Optional[Sequence[FlowConfig]] = None,
+                       ) -> Predicate:
+    """True iff a candidate still shows one of ``report``'s divergences."""
+    signature = divergence_signature(report)
+
+    def predicate(source: str) -> bool:
+        try:
+            candidate = check_kernel(source, configs)
+        except Exception:
+            return False
+        return bool(signature & divergence_signature(candidate))
+
+    return predicate
+
+
+# ---------------------------------------------------------------------------
+# edit enumeration
+# ---------------------------------------------------------------------------
+
+
+def _stmt_lists(sp: ast.Subprogram) -> Iterator[List[ast.Stmt]]:
+    """All statement lists in a subprogram, outermost first."""
+    pending: List[List[ast.Stmt]] = [sp.body]
+    while pending:
+        stmts = pending.pop(0)
+        yield stmts
+        for stmt in stmts:
+            if isinstance(stmt, ast.DoLoop) or isinstance(stmt, ast.DoWhile):
+                pending.append(stmt.body)
+            elif isinstance(stmt, ast.IfBlock):
+                pending.extend(stmt.bodies)
+                pending.append(stmt.else_body)
+            elif isinstance(stmt, ast.SelectCase):
+                pending.extend(case.body for case in stmt.cases)
+                pending.append(stmt.default_body)
+            elif isinstance(stmt, ast.DirectiveRegion):
+                pending.append(stmt.body)
+
+
+def _expr_slots(sp: ast.Subprogram):
+    """(getter, setter) pairs for every shrinkable expression position."""
+    for stmts in _stmt_lists(sp):
+        for stmt in stmts:
+            if isinstance(stmt, ast.Assignment):
+                yield (lambda s=stmt: s.value,
+                       lambda e, s=stmt: setattr(s, "value", e))
+            elif isinstance(stmt, ast.IfBlock):
+                for index in range(len(stmt.conditions)):
+                    yield (lambda s=stmt, i=index: s.conditions[i],
+                           lambda e, s=stmt, i=index:
+                           s.conditions.__setitem__(i, e))
+            elif isinstance(stmt, ast.DoWhile):
+                yield (lambda s=stmt: s.condition,
+                       lambda e, s=stmt: setattr(s, "condition", e))
+            elif isinstance(stmt, ast.DoLoop):
+                yield (lambda s=stmt: s.start,
+                       lambda e, s=stmt: setattr(s, "start", e))
+                yield (lambda s=stmt: s.end,
+                       lambda e, s=stmt: setattr(s, "end", e))
+            elif isinstance(stmt, ast.SelectCase):
+                yield (lambda s=stmt: s.selector,
+                       lambda e, s=stmt: setattr(s, "selector", e))
+
+
+def _subexpressions(expr: ast.Expr) -> List[ast.Expr]:
+    if isinstance(expr, ast.BinaryOp):
+        return [expr.lhs, expr.rhs]
+    if isinstance(expr, ast.UnaryOp):
+        return [expr.operand]
+    if isinstance(expr, (ast.CallOrIndex, ast.FunctionCall, ast.IntrinsicCall)):
+        return [a for a in expr.args
+                if not isinstance(a, ast.SliceTriplet)]
+    return []
+
+
+def _iter_edits(sp: ast.Subprogram) -> List[Callable[[], None]]:
+    """Every applicable shrink edit, in a deterministic order."""
+    edits: List[Callable[[], None]] = []
+
+    # 1. statement deletion
+    for stmts in _stmt_lists(sp):
+        for index in range(len(stmts)):
+            edits.append(lambda l=stmts, i=index: l.pop(i))
+
+    # 2. hoist a construct's body into its place
+    for stmts in _stmt_lists(sp):
+        for index, stmt in enumerate(stmts):
+            bodies: List[List[ast.Stmt]] = []
+            if isinstance(stmt, (ast.DoLoop, ast.DoWhile, ast.DirectiveRegion)):
+                bodies = [stmt.body]
+            elif isinstance(stmt, ast.IfBlock):
+                bodies = list(stmt.bodies) + [stmt.else_body]
+            elif isinstance(stmt, ast.SelectCase):
+                bodies = [case.body for case in stmt.cases] + [stmt.default_body]
+            for body in bodies:
+                edits.append(lambda l=stmts, i=index, b=body:
+                             l.__setitem__(slice(i, i + 1), list(b)))
+
+    # 3. drop one item of a multi-item print
+    for stmts in _stmt_lists(sp):
+        for stmt in stmts:
+            if isinstance(stmt, ast.PrintStmt) and len(stmt.items) > 1:
+                for index in range(len(stmt.items)):
+                    edits.append(lambda s=stmt, i=index: s.items.pop(i))
+
+    # 4. replace an expression by one of its direct subexpressions
+    for getter, setter in _expr_slots(sp):
+        expr = getter()
+        for child in _subexpressions(expr):
+            edits.append(lambda c=child, set_=setter: set_(c))
+
+    return edits
+
+
+# ---------------------------------------------------------------------------
+# declaration garbage collection
+# ---------------------------------------------------------------------------
+
+
+def _used_names(sp: ast.Subprogram) -> set:
+    names: set = set()
+
+    def visit_expr(expr: Optional[ast.Expr]) -> None:
+        if expr is None:
+            return
+        if isinstance(expr, ast.Identifier):
+            names.add(expr.name)
+        elif isinstance(expr, (ast.CallOrIndex, ast.FunctionCall,
+                               ast.IntrinsicCall, ast.ArrayRef)):
+            names.add(expr.name)
+            args = expr.indices if isinstance(expr, ast.ArrayRef) else expr.args
+            for arg in args:
+                visit_expr(arg)
+        elif isinstance(expr, ast.BinaryOp):
+            visit_expr(expr.lhs)
+            visit_expr(expr.rhs)
+        elif isinstance(expr, ast.UnaryOp):
+            visit_expr(expr.operand)
+        elif isinstance(expr, ast.SliceTriplet):
+            visit_expr(expr.lower)
+            visit_expr(expr.upper)
+            visit_expr(expr.stride)
+
+    for stmts in _stmt_lists(sp):
+        for stmt in stmts:
+            if isinstance(stmt, ast.Assignment):
+                visit_expr(stmt.target)
+                visit_expr(stmt.value)
+            elif isinstance(stmt, ast.IfBlock):
+                for condition in stmt.conditions:
+                    visit_expr(condition)
+            elif isinstance(stmt, ast.DoLoop):
+                names.add(stmt.var)
+                visit_expr(stmt.start)
+                visit_expr(stmt.end)
+                visit_expr(stmt.step)
+            elif isinstance(stmt, ast.DoWhile):
+                visit_expr(stmt.condition)
+            elif isinstance(stmt, ast.SelectCase):
+                visit_expr(stmt.selector)
+                for case in stmt.cases:
+                    for item in case.items:
+                        visit_expr(item.lower)
+                        visit_expr(item.upper)
+            elif isinstance(stmt, ast.PrintStmt):
+                for item in stmt.items:
+                    visit_expr(item)
+            elif isinstance(stmt, ast.CallStmt):
+                for arg in stmt.args:
+                    visit_expr(arg)
+            elif isinstance(stmt, ast.AllocateStmt):
+                for name, dims in stmt.allocations:
+                    names.add(name)
+                    for dim in dims:
+                        visit_expr(dim)
+            elif isinstance(stmt, ast.DeallocateStmt):
+                names.update(stmt.names)
+            elif isinstance(stmt, ast.StopStmt):
+                visit_expr(stmt.code)
+    return names
+
+
+def _collect_declarations(sp: ast.Subprogram) -> bool:
+    """Drop declarations of names the body never mentions."""
+    used = _used_names(sp) | set(sp.args)
+    changed = False
+    kept: List[ast.Declaration] = []
+    for decl in sp.declarations:
+        entities = [e for e in decl.entities if e.name in used]
+        if len(entities) != len(decl.entities):
+            changed = True
+        if entities:
+            decl.entities = entities
+            kept.append(decl)
+    sp.declarations = kept
+    return changed
+
+
+# ---------------------------------------------------------------------------
+# the reduction driver
+# ---------------------------------------------------------------------------
+
+
+def _render(unit: ast.CompilationUnit) -> Optional[str]:
+    try:
+        return unparse(unit)
+    except UnparseError:
+        return None
+
+
+def reduce_source(source: str, predicate: Predicate, *,
+                  max_rounds: int = 12) -> str:
+    """Greedily shrink ``source`` while ``predicate`` keeps holding.
+
+    Each round enumerates every applicable edit against the current best
+    program and keeps the ones that preserve the divergence; rounds repeat
+    until a fixpoint (or ``max_rounds``).  Unused declarations are collected
+    after every successful round.
+    """
+    best = source
+    for _ in range(max_rounds):
+        changed = False
+        index = 0
+        while True:
+            unit = parse_source(best)
+            sp = unit.subprograms[0] if unit.subprograms else None
+            if sp is None:
+                break
+            edits = _iter_edits(sp)
+            if index >= len(edits):
+                break
+            edits[index]()
+            candidate = _render(unit)
+            if candidate is not None and candidate != best \
+                    and predicate(candidate):
+                best = candidate
+                changed = True
+                # the edit list shifted: stay at the same index
+            else:
+                index += 1
+        # declaration GC (kept only when it preserves the divergence)
+        unit = parse_source(best)
+        if unit.subprograms and _collect_declarations(unit.subprograms[0]):
+            candidate = _render(unit)
+            if candidate is not None and predicate(candidate):
+                best = candidate
+                changed = True
+        if not changed:
+            break
+    return best
+
+
+def reduce_report(report: KernelReport,
+                  configs: Optional[Sequence[FlowConfig]] = None, *,
+                  max_rounds: int = 12) -> str:
+    """Shrink the kernel of a divergent :class:`KernelReport`."""
+    if report.ok:
+        raise ValueError("cannot reduce a kernel with no divergence")
+    predicate = matching_predicate(report, configs)
+    return reduce_source(report.source, predicate, max_rounds=max_rounds)
+
+
+__all__ = ["Predicate", "divergence_signature", "matching_predicate",
+           "reduce_report", "reduce_source"]

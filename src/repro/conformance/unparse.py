@@ -1,0 +1,243 @@
+"""Render frontend AST nodes back to Fortran source.
+
+The conformance generator builds :mod:`repro.frontend.ast_nodes` trees and
+this module turns them into the source text that every compilation flow
+consumes; the shrinking reducer re-parses, mutates and re-renders the same
+trees.  Rendering is deliberately canonical (two-space indents, every
+compound subexpression parenthesised, lower-case keywords) so that
+``unparse(parse(unparse(tree)))`` is a fixpoint — the generator round-trip
+test relies on it.
+
+Only the node set the generator emits (plus what the parser produces for
+such programs) is supported; hitting anything else raises
+:class:`UnparseError` loudly rather than silently emitting wrong code.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..frontend import ast_nodes as ast
+
+
+class UnparseError(Exception):
+    pass
+
+
+# ---------------------------------------------------------------------------
+# expressions
+# ---------------------------------------------------------------------------
+
+
+def _real_literal(value: float, kind: int) -> str:
+    text = repr(float(value))
+    if "inf" in text or "nan" in text:
+        raise UnparseError(f"cannot render non-finite real literal {value!r}")
+    if kind == 8:
+        if "e" in text:
+            return text.replace("e", "d")
+        return f"{text}d0"
+    return text
+
+
+def unparse_expr(expr: ast.Expr) -> str:
+    """Render one expression (fully parenthesised where it matters)."""
+    if isinstance(expr, ast.IntLiteral):
+        return str(expr.value)
+    if isinstance(expr, ast.RealLiteral):
+        return _real_literal(expr.value, expr.kind)
+    if isinstance(expr, ast.LogicalLiteral):
+        return ".true." if expr.value else ".false."
+    if isinstance(expr, ast.CharLiteral):
+        return "'" + expr.value.replace("'", "''") + "'"
+    if isinstance(expr, ast.Identifier):
+        return expr.name
+    if isinstance(expr, ast.BinaryOp):
+        return f"{_operand(expr.lhs)} {expr.op} {_operand(expr.rhs)}"
+    if isinstance(expr, ast.UnaryOp):
+        if expr.op == ".not.":
+            return f".not. {_operand(expr.operand)}"
+        return f"{expr.op}{_operand(expr.operand)}"
+    if isinstance(expr, (ast.CallOrIndex, ast.FunctionCall, ast.IntrinsicCall,
+                         ast.ArrayRef)):
+        name = expr.name
+        args = expr.indices if isinstance(expr, ast.ArrayRef) else expr.args
+        rendered = ", ".join(unparse_expr(a) for a in args)
+        return f"{name}({rendered})"
+    if isinstance(expr, ast.SliceTriplet):
+        lower = unparse_expr(expr.lower) if expr.lower is not None else ""
+        upper = unparse_expr(expr.upper) if expr.upper is not None else ""
+        text = f"{lower}:{upper}"
+        if expr.stride is not None:
+            text += f":{unparse_expr(expr.stride)}"
+        return text
+    raise UnparseError(f"cannot unparse expression {expr!r}")
+
+
+def _operand(expr: ast.Expr) -> str:
+    """Operand position: parenthesise compound expressions."""
+    text = unparse_expr(expr)
+    if isinstance(expr, (ast.BinaryOp, ast.UnaryOp)):
+        return f"({text})"
+    return text
+
+
+# ---------------------------------------------------------------------------
+# declarations
+# ---------------------------------------------------------------------------
+
+
+def _type_spec(spec: ast.TypeSpec) -> str:
+    if spec.name == "character" and spec.char_length is not None:
+        return f"character(len={spec.char_length})"
+    if spec.kind:
+        return f"{spec.name}(kind={spec.kind})"
+    return spec.name
+
+
+def _dim_spec(dim: ast.DimSpec) -> str:
+    if dim.deferred:
+        return ":"
+    if dim.assumed:
+        return ":"
+    parts = []
+    if dim.lower is not None:
+        parts.append(unparse_expr(dim.lower) + ":")
+    parts.append(unparse_expr(dim.upper) if dim.upper is not None else "")
+    return "".join(parts)
+
+
+def unparse_declaration(decl: ast.Declaration) -> str:
+    head = [_type_spec(decl.type_spec)]
+    if decl.default_dims:
+        dims = ", ".join(_dim_spec(d) for d in decl.default_dims)
+        head.append(f"dimension({dims})")
+    head.extend(decl.attributes)
+    if decl.intent:
+        head.append(f"intent({decl.intent})")
+    entities = []
+    for entity in decl.entities:
+        text = entity.name
+        if entity.dims:
+            text += "(" + ", ".join(_dim_spec(d) for d in entity.dims) + ")"
+        if entity.init is not None:
+            text += f" = {unparse_expr(entity.init)}"
+        entities.append(text)
+    return f"{', '.join(head)} :: {', '.join(entities)}"
+
+
+# ---------------------------------------------------------------------------
+# statements
+# ---------------------------------------------------------------------------
+
+
+def unparse_stmt(stmt: ast.Stmt, indent: int = 1) -> List[str]:
+    pad = "  " * indent
+
+    def body(stmts: List[ast.Stmt]) -> List[str]:
+        out: List[str] = []
+        for s in stmts:
+            out.extend(unparse_stmt(s, indent + 1))
+        return out
+
+    if isinstance(stmt, ast.Assignment):
+        return [f"{pad}{unparse_expr(stmt.target)} = {unparse_expr(stmt.value)}"]
+    if isinstance(stmt, ast.PrintStmt):
+        items = ", ".join(unparse_expr(i) for i in stmt.items)
+        return [f"{pad}print *, {items}" if items else f"{pad}print *"]
+    if isinstance(stmt, ast.DoLoop):
+        header = (f"{pad}do {stmt.var} = {unparse_expr(stmt.start)}, "
+                  f"{unparse_expr(stmt.end)}")
+        if stmt.step is not None:
+            header += f", {unparse_expr(stmt.step)}"
+        return [header] + body(stmt.body) + [f"{pad}end do"]
+    if isinstance(stmt, ast.DoWhile):
+        return ([f"{pad}do while ({unparse_expr(stmt.condition)})"]
+                + body(stmt.body) + [f"{pad}end do"])
+    if isinstance(stmt, ast.IfBlock):
+        lines: List[str] = []
+        for idx, (cond, stmts) in enumerate(zip(stmt.conditions, stmt.bodies)):
+            kw = "if" if idx == 0 else "else if"
+            lines.append(f"{pad}{kw} ({unparse_expr(cond)}) then")
+            lines.extend(body(stmts))
+        if stmt.else_body:
+            lines.append(f"{pad}else")
+            lines.extend(body(stmt.else_body))
+        lines.append(f"{pad}end if")
+        return lines
+    if isinstance(stmt, ast.SelectCase):
+        lines = [f"{pad}select case ({unparse_expr(stmt.selector)})"]
+        for case in stmt.cases:
+            items = ", ".join(_case_item(item) for item in case.items)
+            lines.append(f"{pad}case ({items})")
+            lines.extend(body(case.body))
+        if stmt.default_body:
+            lines.append(f"{pad}case default")
+            lines.extend(body(stmt.default_body))
+        lines.append(f"{pad}end select")
+        return lines
+    if isinstance(stmt, ast.AllocateStmt):
+        allocations = ", ".join(
+            name + ("(" + ", ".join(unparse_expr(d) for d in dims) + ")"
+                    if dims else "")
+            for name, dims in stmt.allocations)
+        return [f"{pad}allocate({allocations})"]
+    if isinstance(stmt, ast.DeallocateStmt):
+        return [f"{pad}deallocate({', '.join(stmt.names)})"]
+    if isinstance(stmt, ast.CallStmt):
+        args = ", ".join(unparse_expr(a) for a in stmt.args)
+        return [f"{pad}call {stmt.name}({args})"]
+    if isinstance(stmt, ast.ExitStmt):
+        return [f"{pad}exit"]
+    if isinstance(stmt, ast.CycleStmt):
+        return [f"{pad}cycle"]
+    if isinstance(stmt, ast.ContinueStmt):
+        return [f"{pad}continue"]
+    if isinstance(stmt, ast.ReturnStmt):
+        return [f"{pad}return"]
+    if isinstance(stmt, ast.StopStmt):
+        if stmt.code is not None:
+            return [f"{pad}stop {unparse_expr(stmt.code)}"]
+        return [f"{pad}stop"]
+    raise UnparseError(f"cannot unparse statement {stmt!r}")
+
+
+def _case_item(item: ast.CaseRange) -> str:
+    if not item.is_range:
+        return unparse_expr(item.lower)
+    lower = unparse_expr(item.lower) if item.lower is not None else ""
+    upper = unparse_expr(item.upper) if item.upper is not None else ""
+    return f"{lower}:{upper}"
+
+
+# ---------------------------------------------------------------------------
+# program units
+# ---------------------------------------------------------------------------
+
+
+def unparse_subprogram(sp: ast.Subprogram) -> str:
+    if sp.kind == "program":
+        header = f"program {sp.name}"
+        footer = f"end program {sp.name}"
+    else:
+        args = ", ".join(sp.args)
+        header = f"{sp.kind} {sp.name}({args})"
+        footer = f"end {sp.kind} {sp.name}"
+    lines = [header, "  implicit none"]
+    for decl in sp.declarations:
+        lines.append("  " + unparse_declaration(decl))
+    for stmt in sp.body:
+        lines.extend(unparse_stmt(stmt, indent=1))
+    lines.append(footer)
+    return "\n".join(lines)
+
+
+def unparse(unit: ast.CompilationUnit) -> str:
+    """Render a whole compilation unit (modules are outside the subset)."""
+    if unit.modules:
+        raise UnparseError("module units are outside the conformance subset")
+    return "\n\n".join(unparse_subprogram(sp) for sp in unit.subprograms) + "\n"
+
+
+__all__ = ["UnparseError", "unparse", "unparse_declaration", "unparse_expr",
+           "unparse_stmt", "unparse_subprogram"]

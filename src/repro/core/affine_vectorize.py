@@ -135,11 +135,24 @@ class LoopVectorizer:
             new_loop.parent.insert_before(new_loop, init_store)
             accumulators[key] = {"cell": acc_cell.results[0],
                                  "orig": accumulator_memref, "elem": elem,
-                                 "kind": "add"}
+                                 "kind": "add", "init_const": zero}
         acc = accumulators[key]
         acc_load = memref_d.LoadOp(acc["cell"], [])
         new_body.add_op(acc_load)
         vec_map[result] = acc_load.results[0]
+
+    @staticmethod
+    def _combiner_kind(stored_value) -> Optional[str]:
+        combiner = getattr(getattr(stored_value, "op", None), "name", "")
+        if combiner in ("arith.maximumf", "arith.maxsi"):
+            return "max"
+        if combiner in ("arith.minimumf", "arith.minsi"):
+            return "min"
+        if combiner in ("arith.mulf", "arith.muli"):
+            return "mul"
+        if combiner in ("arith.addf", "arith.addi"):
+            return "add"
+        return None
 
     def _accumulator_write(self, op, accumulator_memref, stored_value, accumulators,
                            new_body, vec_map, reduction_stores) -> None:
@@ -149,13 +162,9 @@ class LoopVectorizer:
         if acc is None:
             new_body.add_op(memref_d.StoreOp(value, accumulator_memref, []))
             return
-        combiner = getattr(getattr(stored_value, "op", None), "name", "")
-        if combiner in ("arith.maximumf", "arith.maxsi"):
-            acc["kind"] = "max"
-        elif combiner in ("arith.minimumf", "arith.minsi"):
-            acc["kind"] = "min"
-        elif combiner in ("arith.mulf", "arith.muli"):
-            acc["kind"] = "mul"
+        kind = self._combiner_kind(stored_value)
+        if kind is not None:
+            acc["kind"] = kind
         new_body.add_op(memref_d.StoreOp(value, acc["cell"], []))
         reduction_stores.append(op)
 
@@ -284,7 +293,8 @@ class LoopVectorizer:
                     init_store = memref_d.StoreOp(acc_init.results[0], acc_cell.results[0], [])
                     new_loop.parent.insert_before(new_loop, init_store)
                     accumulators[key] = {"cell": acc_cell.results[0],
-                                         "orig": op.operands[0], "elem": elem}
+                                         "orig": op.operands[0], "elem": elem,
+                                         "kind": "add", "init_const": zero}
                 acc = accumulators[key]
                 acc_load = memref_d.LoadOp(acc["cell"], [])
                 new_body.add_op(acc_load)
@@ -297,6 +307,9 @@ class LoopVectorizer:
                 if acc is None:
                     new_body.add_op(memref_d.StoreOp(value, op.operands[1], []))
                     continue
+                kind = self._combiner_kind(op.operands[0])
+                if kind is not None:
+                    acc["kind"] = kind
                 new_body.add_op(memref_d.StoreOp(value, acc["cell"], []))
                 reduction_stores.append(op)
                 continue
@@ -334,6 +347,22 @@ class LoopVectorizer:
         for acc in accumulators.values():
             kind = acc.get("kind", "add")
             is_float = isinstance(acc["elem"], ir_types.FloatType)
+            # retarget the accumulator's splat to the reduction's neutral
+            # element (the kind is only known once the combiner was seen):
+            # a zero splat poisons max over negatives, min over positives
+            # and any product.  Integer sentinels follow the element width
+            # (i64 data may legitimately exceed i32 range).
+            width = getattr(acc["elem"], "width", 32)
+            neutral = {"add": 0, "mul": 1,
+                       "max": -1.0e308 if is_float else -(2 ** (width - 1)),
+                       "min": 1.0e308 if is_float
+                       else 2 ** (width - 1) - 1}[kind]
+            init_const = acc.get("init_const")
+            if init_const is not None:
+                from ..ir.attributes import FloatAttr, IntegerAttr
+                init_const.attributes["value"] = \
+                    FloatAttr(float(neutral), acc["elem"]) if is_float \
+                    else IntegerAttr(int(neutral), acc["elem"])
             load_vec = memref_d.LoadOp(acc["cell"], [])
             new_loop.parent.insert_after(new_loop, load_vec)
             red_kind = {"add": "add", "mul": "mul",

@@ -987,14 +987,17 @@ class FirToStandardLowering:
 
     def _reduction_init(self, kind: str, element_type) -> Value:
         is_float = isinstance(element_type, ir_types.FloatType)
+        # integer sentinels follow the element width: i64 reductions may
+        # legitimately hold values outside i32 range
+        width = getattr(element_type, "width", 32)
         if kind == "add":
             v = 0.0 if is_float else 0
         elif kind == "mul":
             v = 1.0 if is_float else 1
         elif kind == "max":
-            v = -1.0e308 if is_float else -(2 ** 31)
+            v = -1.0e308 if is_float else -(2 ** (width - 1))
         else:  # min
-            v = 1.0e308 if is_float else 2 ** 31 - 1
+            v = 1.0e308 if is_float else 2 ** (width - 1) - 1
         if is_float:
             return self._insert(arith.ConstantOp(float(v), element_type)).result
         return self._insert(arith.ConstantOp(int(v), element_type)).result

@@ -139,24 +139,44 @@ class OptionsSchema:
 # ---------------------------------------------------------------------------
 
 
+#: Interpreter engines an artifact can be executed on.  ``compiled`` is the
+#: cached-dispatch engine (per-block thunks); ``reference`` is the one-op
+#: reference engine.  Both must be observationally identical — the
+#: conformance oracle runs every kernel on both and diffs the observables.
+ENGINES = ("compiled", "reference")
+
+
 @dataclass(frozen=True)
 class ExecutionContext:
     """How a compiled artifact will be executed (not *what* is compiled).
 
     Stats depend on whether execution is parallel or offloaded, not on the
     exact core count, so the cache-key material buckets ``threads`` down to
-    a boolean.
+    a boolean.  ``engine`` names the interpreter engine; artifacts from the
+    two engines are cached separately so differential runs can compare them.
     """
 
     threads: int = 1
     gpu: bool = False
+    engine: str = "compiled"
+
+    def __post_init__(self):
+        if self.engine not in ENGINES:
+            raise FlowError(f"unknown interpreter engine {self.engine!r} "
+                            f"(known: {', '.join(ENGINES)})")
 
     @property
     def parallel(self) -> bool:
         return self.threads > 1
 
+    @property
+    def compile_blocks(self) -> bool:
+        """Interpreter ``compile_blocks`` flag for this engine."""
+        return self.engine != "reference"
+
     def key_material(self) -> Dict[str, Any]:
-        return {"parallel": self.parallel, "gpu": bool(self.gpu)}
+        return {"parallel": self.parallel, "gpu": bool(self.gpu),
+                "engine": self.engine}
 
 
 # ---------------------------------------------------------------------------
@@ -274,6 +294,6 @@ class Flow:
 
 
 __all__ = [
-    "CapabilityError", "ExecutionContext", "Flow", "FlowError", "FlowOption",
-    "FlowResult", "OptionError", "OptionsSchema",
+    "CapabilityError", "ENGINES", "ExecutionContext", "Flow", "FlowError",
+    "FlowOption", "FlowResult", "OptionError", "OptionsSchema",
 ]

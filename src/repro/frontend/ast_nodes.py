@@ -240,6 +240,42 @@ class IfBlock(Stmt):
 
 
 @dataclass
+class CaseRange:
+    """One item of a CASE value list: a single value or an inclusive range.
+
+    A single value has ``lower is upper`` semantics via ``is_range=False``;
+    open-ended ranges (``:hi`` / ``lo:``) leave the missing bound ``None``.
+    """
+
+    lower: Optional[Expr] = None
+    upper: Optional[Expr] = None
+    is_range: bool = False
+
+
+@dataclass
+class CaseBlock:
+    """One ``case (items)`` alternative of a SELECT CASE construct."""
+
+    items: List[CaseRange] = field(default_factory=list)
+    body: List[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class SelectCase(Stmt):
+    """``select case (selector)`` ... ``end select``.
+
+    The shared frontend desugars this into an :class:`IfBlock` chain during
+    semantic analysis, so every compilation flow supports it uniformly.
+    """
+
+    selector: Expr = None
+    cases: List[CaseBlock] = field(default_factory=list)
+    default_body: List[Stmt] = field(default_factory=list)
+    loc: Optional[SourceLocation] = None
+    label: Optional[int] = None
+
+
+@dataclass
 class DoLoop(Stmt):
     var: str = ""
     start: Expr = None

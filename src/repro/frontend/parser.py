@@ -20,7 +20,8 @@ class ParseError(Exception):
 
 
 # keywords that begin a new statement and therefore terminate a statement list
-_BLOCK_ENDERS = {"end", "else", "elseif", "endif", "enddo", "contains", "case"}
+_BLOCK_ENDERS = {"end", "else", "elseif", "endif", "enddo", "endselect",
+                 "contains", "case"}
 
 
 class Parser:
@@ -387,6 +388,8 @@ class Parser:
         kw = tok.value
         if kw == "if":
             stmt = self.parse_if()
+        elif kw == "select":
+            stmt = self.parse_select()
         elif kw == "do":
             stmt = self.parse_do()
         elif kw == "call":
@@ -479,6 +482,59 @@ class Parser:
         inner = self.parse_statement()
         return ast.IfBlock(conditions=[condition],
                            bodies=[[inner] if inner is not None else []])
+
+    def parse_select(self) -> ast.Stmt:
+        """``select case (expr)`` with value and range cases plus a default."""
+        self.ts.expect("NAME", "select")
+        self.ts.expect("NAME", "case")
+        self.ts.expect("OP", "(")
+        selector = self.parse_expr()
+        self.ts.expect("OP", ")")
+        self.ts.accept("NEWLINE")
+        node = ast.SelectCase(selector=selector)
+        while True:
+            self.ts.skip_newlines()
+            if self.ts.at_name("case"):
+                self.ts.next()
+                if self.ts.at_name("default"):
+                    self.ts.next()
+                    self.ts.accept("NEWLINE")
+                    node.default_body = self.parse_statements()
+                    continue
+                self.ts.expect("OP", "(")
+                items: List[ast.CaseRange] = []
+                while not self.ts.at("OP", ")"):
+                    items.append(self._parse_case_item())
+                    if not self.ts.accept("OP", ","):
+                        break
+                self.ts.expect("OP", ")")
+                self.ts.accept("NEWLINE")
+                node.cases.append(ast.CaseBlock(items=items,
+                                                body=self.parse_statements()))
+            elif self.ts.at_name("endselect"):
+                self.ts.next()
+                break
+            elif self.ts.at_name("end"):
+                self.ts.next()
+                self.ts.accept("NAME", "select")
+                break
+            else:
+                tok = self.ts.peek()
+                raise ParseError(
+                    f"line {tok.line}: expected 'case' or 'end select', "
+                    f"found {tok.value!r}")
+        return node
+
+    def _parse_case_item(self) -> ast.CaseRange:
+        if self.ts.accept("OP", ":"):
+            return ast.CaseRange(upper=self.parse_expr(), is_range=True)
+        value = self.parse_expr()
+        if self.ts.accept("OP", ":"):
+            if self.ts.at("OP", ")") or self.ts.at("OP", ","):
+                return ast.CaseRange(lower=value, is_range=True)
+            return ast.CaseRange(lower=value, upper=self.parse_expr(),
+                                 is_range=True)
+        return ast.CaseRange(lower=value, upper=value)
 
     def parse_do(self) -> ast.Stmt:
         self.ts.expect("NAME", "do")

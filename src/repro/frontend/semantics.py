@@ -272,12 +272,209 @@ class SemanticAnalyzer:
             result_symbol.is_function_result = True
         info = SubprogramInfo(subprogram=sp, symbols=symbols,
                               result_symbol=result_symbol)
+        self._desugar_exits(sp.body, symbols)
         self._analyze_statements(sp.body, symbols)
         return info
 
-    def _analyze_statements(self, stmts: List[ast.Stmt], symbols: SymbolTable) -> None:
+    # ------------------------------------------------------- EXIT desugaring
+    def _desugar_exits(self, stmts: List[ast.Stmt], symbols: SymbolTable) -> None:
+        """Rewrite loops containing EXIT into flag-guarded loops.
+
+        ``exit`` sets an integer flag to 0; every statement that could
+        execute after the exit point is wrapped in ``if (flag == 1)`` and a
+        counted loop's whole body is guarded so remaining iterations are
+        no-ops (a do-while additionally folds the flag into its condition).
+        This gives exact Fortran EXIT semantics through the ordinary
+        if/loop lowering, shared by every compilation flow.
+        """
+        index = 0
+        while index < len(stmts):
+            stmt = stmts[index]
+            if isinstance(stmt, (ast.DoLoop, ast.DoWhile)):
+                self._desugar_exits(stmt.body, symbols)
+                if self._has_exit(stmt.body):
+                    index += self._rewrite_exit_loop(stmts, index, stmt,
+                                                     symbols)
+                    continue
+            elif isinstance(stmt, ast.IfBlock):
+                for body in stmt.bodies:
+                    self._desugar_exits(body, symbols)
+                self._desugar_exits(stmt.else_body, symbols)
+            elif isinstance(stmt, ast.SelectCase):
+                for case in stmt.cases:
+                    self._desugar_exits(case.body, symbols)
+                self._desugar_exits(stmt.default_body, symbols)
+            elif isinstance(stmt, ast.DirectiveRegion):
+                self._desugar_exits(stmt.body, symbols)
+            index += 1
+
+    def _rewrite_exit_loop(self, stmts: List[ast.Stmt], index: int, stmt,
+                           symbols: SymbolTable) -> int:
+        """Flag-guard one loop containing EXIT; returns how many statements
+        the caller must now skip (the loop plus everything inserted)."""
+        flag = self._fresh_int(symbols, "iexit")
+        on_exit: List[ast.Stmt] = []
+        restore: Optional[ast.Stmt] = None
+        if isinstance(stmt, ast.DoLoop):
+            # F2018 11.1.7.4.3: the do-variable keeps its value at the
+            # moment of EXIT — snapshot it when the exit fires, restore it
+            # after the loop (the guarded remaining iterations still step it)
+            save = self._fresh_int(symbols, "isave")
+            on_exit.append(ast.Assignment(target=ast.Identifier(name=save),
+                                          value=ast.Identifier(name=stmt.var)))
+        stmt.body[:] = self._guard_exits(stmt.body, flag, on_exit=on_exit)
+        if isinstance(stmt, ast.DoLoop):
+            stmt.body[:] = [ast.IfBlock(conditions=[self._flag_live(flag)],
+                                        bodies=[list(stmt.body)])]
+            restore = ast.IfBlock(
+                conditions=[ast.BinaryOp(op="==",
+                                         lhs=ast.Identifier(name=flag),
+                                         rhs=ast.IntLiteral(value=0))],
+                bodies=[[ast.Assignment(target=ast.Identifier(name=stmt.var),
+                                        value=ast.Identifier(name=save))]])
+        else:
+            stmt.condition = ast.BinaryOp(op=".and.", lhs=stmt.condition,
+                                          rhs=self._flag_live(flag))
+        stmts.insert(index, ast.Assignment(target=ast.Identifier(name=flag),
+                                           value=ast.IntLiteral(value=1)))
+        if restore is not None:
+            stmts.insert(index + 2, restore)
+            return 3   # flag init, the loop, the do-variable restore
+        return 2       # flag init, the loop
+
+    def _fresh_int(self, symbols: SymbolTable, prefix: str) -> str:
+        """A fresh implicitly-integer helper variable (prefix starts i-n)."""
+        counter = 0
+        while symbols.lookup(f"{prefix}{counter}") is not None:
+            counter += 1
+        name = f"{prefix}{counter}"
+        symbols.define(Symbol(name=name, ftype=ftypes.INTEGER))
+        return name
+
+    @staticmethod
+    def _flag_live(flag: str) -> ast.Expr:
+        return ast.BinaryOp(op="==", lhs=ast.Identifier(name=flag),
+                            rhs=ast.IntLiteral(value=1))
+
+    @classmethod
+    def _has_exit(cls, stmts: List[ast.Stmt]) -> bool:
+        """EXIT at this loop's level (nested loops consume their own exits)."""
         for stmt in stmts:
+            if isinstance(stmt, ast.ExitStmt):
+                return True
+            if isinstance(stmt, ast.IfBlock):
+                if any(cls._has_exit(b) for b in stmt.bodies) or \
+                        cls._has_exit(stmt.else_body):
+                    return True
+            elif isinstance(stmt, ast.SelectCase):
+                if any(cls._has_exit(c.body) for c in stmt.cases) or \
+                        cls._has_exit(stmt.default_body):
+                    return True
+            elif isinstance(stmt, ast.DirectiveRegion):
+                if cls._has_exit(stmt.body):
+                    return True
+        return False
+
+    @classmethod
+    def _guard_exits(cls, stmts: List[ast.Stmt], flag: str, *,
+                     on_exit: List[ast.Stmt] = ()) -> List[ast.Stmt]:
+        """Replace EXITs with ``flag = 0`` (plus the ``on_exit`` snapshot
+        statements) and guard everything downstream of a possible exit."""
+        import copy
+
+        def exit_replacement() -> List[ast.Stmt]:
+            return [ast.Assignment(target=ast.Identifier(name=flag),
+                                   value=ast.IntLiteral(value=0)),
+                    *copy.deepcopy(list(on_exit))]
+
+        out: List[ast.Stmt] = []
+        for index, stmt in enumerate(stmts):
+            if isinstance(stmt, ast.ExitStmt):
+                out.extend(exit_replacement())
+                return out  # statements after an unconditional EXIT are dead
+            contains = False
+            if isinstance(stmt, ast.IfBlock):
+                contains = any(cls._has_exit(b) for b in stmt.bodies) or \
+                    cls._has_exit(stmt.else_body)
+                if contains:
+                    stmt.bodies = [cls._guard_exits(b, flag, on_exit=on_exit)
+                                   for b in stmt.bodies]
+                    stmt.else_body = cls._guard_exits(stmt.else_body, flag,
+                                                      on_exit=on_exit)
+            elif isinstance(stmt, ast.SelectCase):
+                contains = any(cls._has_exit(c.body) for c in stmt.cases) or \
+                    cls._has_exit(stmt.default_body)
+                if contains:
+                    for case in stmt.cases:
+                        case.body = cls._guard_exits(case.body, flag,
+                                                     on_exit=on_exit)
+                    stmt.default_body = cls._guard_exits(stmt.default_body,
+                                                         flag,
+                                                         on_exit=on_exit)
+            elif isinstance(stmt, ast.DirectiveRegion):
+                contains = cls._has_exit(stmt.body)
+                if contains:
+                    stmt.body = cls._guard_exits(stmt.body, flag,
+                                                 on_exit=on_exit)
+            out.append(stmt)
+            if contains:
+                rest = cls._guard_exits(list(stmts[index + 1:]), flag,
+                                        on_exit=on_exit)
+                if rest:
+                    out.append(ast.IfBlock(conditions=[cls._flag_live(flag)],
+                                           bodies=[rest]))
+                return out
+        return out
+
+    def _analyze_statements(self, stmts: List[ast.Stmt], symbols: SymbolTable) -> None:
+        for i, stmt in enumerate(stmts):
+            if isinstance(stmt, ast.SelectCase):
+                stmts[i] = stmt = self._desugar_select(stmt)
             self._analyze_statement(stmt, symbols)
+
+    def _desugar_select(self, stmt: ast.SelectCase) -> ast.IfBlock:
+        """Rewrite SELECT CASE into the equivalent IF/ELSE IF chain.
+
+        Each case's value list becomes a disjunction of equality / range
+        tests against (a fresh copy of) the selector expression, so every
+        compilation flow supports the construct through the ordinary IfBlock
+        lowering.
+        """
+        import copy
+
+        def selector() -> ast.Expr:
+            return copy.deepcopy(stmt.selector)
+
+        def item_condition(item: ast.CaseRange) -> ast.Expr:
+            if not item.is_range:
+                return ast.BinaryOp(op="==", lhs=selector(), rhs=item.lower)
+            if item.lower is not None and item.upper is not None:
+                return ast.BinaryOp(
+                    op=".and.",
+                    lhs=ast.BinaryOp(op=">=", lhs=selector(), rhs=item.lower),
+                    rhs=ast.BinaryOp(op="<=", lhs=selector(), rhs=item.upper))
+            if item.lower is not None:
+                return ast.BinaryOp(op=">=", lhs=selector(), rhs=item.lower)
+            return ast.BinaryOp(op="<=", lhs=selector(), rhs=item.upper)
+
+        node = ast.IfBlock(loc=stmt.loc, label=stmt.label)
+        for case in stmt.cases:
+            condition: Optional[ast.Expr] = None
+            for item in case.items:
+                test = item_condition(item)
+                condition = test if condition is None else \
+                    ast.BinaryOp(op=".or.", lhs=condition, rhs=test)
+            if condition is None:     # `case ()` — can never be selected
+                condition = ast.LogicalLiteral(value=False)
+            node.conditions.append(condition)
+            node.bodies.append(case.body)
+        node.else_body = stmt.default_body
+        if not node.conditions:
+            # degenerate select with only a default: guard with .true.
+            node.conditions.append(ast.LogicalLiteral(value=True))
+            node.bodies.append(node.else_body)
+            node.else_body = []
+        return node
 
     def _analyze_statement(self, stmt: ast.Stmt, symbols: SymbolTable) -> None:
         if isinstance(stmt, (ast.Assignment, ast.PointerAssignment)):

@@ -217,7 +217,12 @@ class Operation:
             self._append_operand(v)
 
     def drop_all_references(self) -> None:
-        """Drop operand uses and successor references (pre-erase cleanup)."""
+        """Drop operand uses and successor references (pre-erase cleanup).
+
+        Ops nested in the erased op's regions die with it: their ``parent``
+        is cleared so stale walk snapshots recognise them as erased (the
+        pattern drivers and canonicalizer guard on ``op.parent is None``).
+        """
         for i, v in enumerate(self._operands):
             v.remove_use(self, i)
         self._operands = []
@@ -225,6 +230,7 @@ class Operation:
         for region in self.regions:
             for block in region.blocks:
                 for op in block.ops:
+                    op.parent = None
                     op.drop_all_references()
 
     # -- attribute helpers ---------------------------------------------------

@@ -103,6 +103,36 @@ class ExecutionStats:
     def summary(self) -> Dict[str, Dict[str, float]]:
         return {c: dict(v) for c, v in self.counts.items()}
 
+    def diff(self, other: "ExecutionStats") -> List[str]:
+        """Human-readable field-level differences against ``other``.
+
+        Returns an empty list when the two stats are identical; used by the
+        conformance oracle to name exactly which observable diverged.
+        """
+        out: List[str] = []
+        contexts = sorted(set(self.counts) | set(other.counts))
+        for context in contexts:
+            # .get, not indexing: diff must not grow either defaultdict
+            mine = self.counts.get(context, Counter())
+            theirs = other.counts.get(context, Counter())
+            for category in sorted(set(mine) | set(theirs)):
+                if mine.get(category, 0.0) != theirs.get(category, 0.0):
+                    out.append(f"counts[{context}][{category}]: "
+                               f"{mine.get(category, 0.0)} != "
+                               f"{theirs.get(category, 0.0)}")
+        for name in ("parallel_loop_iterations", "parallel_regions",
+                     "gpu_kernel_launches", "gpu_threads", "total_ops"):
+            a, b = getattr(self, name), getattr(other, name)
+            if a != b:
+                out.append(f"{name}: {a} != {b}")
+        for name in ("runtime_calls", "runtime_elements"):
+            mine, theirs = getattr(self, name), getattr(other, name)
+            for key in sorted(set(mine) | set(theirs)):
+                if mine.get(key, 0) != theirs.get(key, 0):
+                    out.append(f"{name}[{key}]: {mine.get(key, 0)} != "
+                               f"{theirs.get(key, 0)}")
+        return out
+
 
 # ---------------------------------------------------------------------------
 # Dispatch tables (value semantics live in repro.machine.semantics, shared

@@ -35,7 +35,10 @@ from .serialization import stats_from_dict, stats_to_dict
 #: dict (including ``tile_size``) instead of fixed CompileJob fields.
 #: v3: interpreter numeric-semantics fixes (unsigned cmpi, NaN-aware cmpf,
 #: LLVM trunc divsi/remsi) — stats cached under v2 may predate the fixes.
-KEY_SCHEMA_VERSION = 3
+#: v4: execution key material gained the interpreter ``engine``
+#: (compiled/reference) so differential conformance runs cache each engine's
+#: observables separately.
+KEY_SCHEMA_VERSION = 4
 
 
 class ServiceError(RuntimeError):
@@ -55,6 +58,9 @@ class CompileJob:
     options: Tuple[Tuple[str, Any], ...] = ()
     threads: int = 1
     gpu: bool = False
+    #: Interpreter engine the artifact's observables come from ("compiled"
+    #: cached-dispatch engine or the "reference" one-op engine).
+    engine: str = "compiled"
     #: Optional live workload; spares a registry lookup and lets callers run
     #: non-registry workloads in-process.  Never crosses a process boundary.
     workload: Optional[Workload] = field(default=None, repr=False, compare=False)
@@ -79,14 +85,16 @@ class CompileJob:
         return dict(self.options)
 
     def execution(self) -> ExecutionContext:
-        return ExecutionContext(threads=self.threads, gpu=self.gpu)
+        return ExecutionContext(threads=self.threads, gpu=self.gpu,
+                                engine=self.engine)
 
     def spec(self) -> Dict[str, Any]:
         """Picklable description, sufficient to re-run in another process."""
         return {"flow": self.flow, "workload_name": self.workload_name,
                 "workload_kwargs": tuple(self.workload_kwargs),
                 "options": tuple(self.options),
-                "threads": self.threads, "gpu": self.gpu}
+                "threads": self.threads, "gpu": self.gpu,
+                "engine": self.engine}
 
     @classmethod
     def from_spec(cls, spec: Dict[str, Any]) -> "CompileJob":
@@ -195,8 +203,7 @@ def run_job(job: CompileJob) -> CompiledArtifact:
     the flang flow and OpenACC) come back as ``ok=False`` artifacts so they
     are cacheable; this function never raises for them.
     """
-    from ..ir.printer import print_op
-    from ..machine import Interpreter
+    import numpy as np
 
     try:
         workload = job.resolve_workload()
@@ -209,6 +216,17 @@ def run_job(job: CompileJob) -> CompiledArtifact:
         return CompiledArtifact(key=_unresolvable_key(job), flow=job.flow,
                                 workload=job.workload_name, ok=False,
                                 error=f"{type(exc).__name__}: {exc}")
+    # numeric edge cases (deliberate NaNs in conformance kernels) must not
+    # spam warnings from pool workers
+    with np.errstate(all="ignore"):
+        return _run_resolved_job(job, flow, workload, key)
+
+
+def _run_resolved_job(job: CompileJob, flow, workload,
+                      key: str) -> CompiledArtifact:
+    from ..ir.printer import print_op
+    from ..machine import Interpreter
+
     try:
         # the service discards FlowResult.timing, so skip the per-pass
         # timing/IR-size bookkeeping on this hot path
@@ -221,7 +239,8 @@ def run_job(job: CompileJob) -> CompiledArtifact:
                                     error=result.error)
         module = result.module
         module_text = print_op(module)
-        interpreter = Interpreter(module)
+        interpreter = Interpreter(
+            module, compile_blocks=job.execution().compile_blocks)
         interpreter.run_main()
         return CompiledArtifact(key=key, flow=job.flow, workload=workload.name,
                                 ok=True, stats=interpreter.stats,

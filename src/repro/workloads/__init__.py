@@ -3,14 +3,15 @@
 from .base import Workload
 from .intrinsics_bench import intrinsic_workloads
 from .polyhedron import polyhedron_workloads
-from .registry import (TABLE2_BENCHMARKS, WORKLOAD_INDEX, all_workloads,
-                       get_workload, table1_workloads, table2_workloads,
-                       table3_workloads)
+from .registry import (TABLE2_BENCHMARKS, WORKLOAD_FAMILIES, WORKLOAD_INDEX,
+                       all_workloads, get_workload, register_workload_family,
+                       table1_workloads, table2_workloads, table3_workloads)
 from .stencils import jacobi, pw_advection, tra_adv
 
 __all__ = [
     "Workload", "intrinsic_workloads", "polyhedron_workloads",
-    "TABLE2_BENCHMARKS", "WORKLOAD_INDEX", "all_workloads", "get_workload",
+    "TABLE2_BENCHMARKS", "WORKLOAD_FAMILIES", "WORKLOAD_INDEX",
+    "all_workloads", "get_workload", "register_workload_family",
     "table1_workloads", "table2_workloads", "table3_workloads", "jacobi",
     "pw_advection", "tra_adv",
 ]

@@ -1,13 +1,51 @@
-"""Central registry of every workload used in the experiments."""
+"""Central registry of every workload used in the experiments.
+
+Besides the fixed paper benchmarks, the registry resolves *parametric
+workload families*: names of the form ``family/rest`` dispatch to a factory
+registered with :func:`register_workload_family` (e.g. ``conformance/17``
+resolves to the seeded kernel the conformance generator derives from seed
+17).  Families resolve identically in any process — the compile service's
+pool workers re-resolve jobs by name — so a family factory must be a pure
+function of ``rest``.
+"""
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+import importlib
+from typing import Callable, Dict, List, Optional
 
 from .base import Workload
 from .intrinsics_bench import intrinsic_workloads
 from .polyhedron import polyhedron_workloads
 from .stencils import jacobi, pw_advection, tra_adv
+
+#: family prefix -> factory(rest, **kwargs) -> Workload
+WORKLOAD_FAMILIES: Dict[str, Callable[..., Workload]] = {}
+
+#: family prefixes resolved by importing a module on first use (the module's
+#: import side effect registers the family), so pool worker processes can
+#: resolve family names without any prior setup.
+_LAZY_FAMILIES = {"conformance": "repro.conformance"}
+
+
+def register_workload_family(prefix: str,
+                             factory: Callable[..., Workload]) -> None:
+    """Register ``factory`` to resolve workload names ``prefix/<rest>``."""
+    if "/" in prefix:
+        raise ValueError(f"family prefix may not contain '/': {prefix!r}")
+    WORKLOAD_FAMILIES[prefix] = factory
+
+
+def _resolve_family(name: str, **kwargs) -> Optional[Workload]:
+    if "/" not in name:
+        return None
+    family, _, rest = name.partition("/")
+    if family not in WORKLOAD_FAMILIES and family in _LAZY_FAMILIES:
+        importlib.import_module(_LAZY_FAMILIES[family])
+    factory = WORKLOAD_FAMILIES.get(family)
+    if factory is None:
+        return None
+    return factory(rest, **kwargs)
 
 #: Benchmarks of Table II (the subset re-evaluated with our approach).
 TABLE2_BENCHMARKS = ("ac", "linpk", "nf", "test_fpu", "tfft", "jacobi",
@@ -45,6 +83,9 @@ def get_workload(name: str, **kwargs) -> Workload:
         # the prebuilt index avoids re-instantiating every workload per lookup
         return WORKLOAD_INDEX[name]
     except KeyError:
+        workload = _resolve_family(name, **kwargs)
+        if workload is not None:
+            return workload
         raise KeyError(f"unknown workload '{name}'") from None
 
 
@@ -52,5 +93,5 @@ WORKLOAD_INDEX: Dict[str, Workload] = {w.name: w for w in all_workloads()}
 
 
 __all__ = ["all_workloads", "table1_workloads", "table2_workloads",
-           "table3_workloads", "get_workload", "WORKLOAD_INDEX",
-           "TABLE2_BENCHMARKS"]
+           "table3_workloads", "get_workload", "register_workload_family",
+           "WORKLOAD_FAMILIES", "WORKLOAD_INDEX", "TABLE2_BENCHMARKS"]

@@ -1,0 +1,87 @@
+"""Generator invariants: determinism, validity, round-trips, registry glue."""
+
+import pytest
+
+from repro.conformance import GeneratorConfig, generate
+from repro.conformance.unparse import unparse
+from repro.frontend.parser import parse_source
+from repro.frontend.semantics import analyze
+from repro.service.jobs import CompileJob
+from repro.workloads import get_workload
+
+SEEDS = range(12)
+
+
+class TestDeterminism:
+    def test_same_seed_same_source(self):
+        for seed in SEEDS:
+            assert generate(seed).source == generate(seed).source
+
+    def test_different_seeds_differ(self):
+        sources = {generate(seed).source for seed in range(20)}
+        assert len(sources) == 20
+
+    def test_config_is_part_of_the_derivation(self):
+        small = GeneratorConfig(min_body_segments=1, max_body_segments=2)
+        assert generate(3, small).source != generate(3).source
+
+
+class TestValidity:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_parses_and_analyzes(self, seed):
+        unit = parse_source(generate(seed).source)
+        program = unit.main_program()
+        assert program is not None and program.name == f"conf{seed}"
+        analyze(unit)  # must not raise
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_unparse_parse_fixpoint(self, seed):
+        source = generate(seed).source
+        assert unparse(parse_source(source)) == source
+
+    def test_programs_always_print(self):
+        for seed in SEEDS:
+            assert "print *" in generate(seed).source
+
+
+class TestFeatureCoverage:
+    def test_corners_appear_across_seed_range(self):
+        seen = set()
+        for seed in range(60):
+            seen.update(generate(seed).features)
+        for tag in ("corner-mixed-sign-division", "corner-zero-trip-loop",
+                    "corner-nan", "corner-negative-step", "select-case",
+                    "do-while", "int-division", "clamped-index"):
+            assert tag in seen, f"feature {tag} never generated in 60 seeds"
+
+
+class TestRegistryIntegration:
+    def test_family_resolution(self):
+        workload = get_workload("conformance/5")
+        assert workload.name == "conformance/5"
+        assert workload.source(scaled=True) == generate(5).source
+
+    def test_family_resolution_is_stable(self):
+        assert get_workload("conformance/9").identity() == \
+            get_workload("conformance/9").identity()
+
+    def test_unknown_family_member_raises(self):
+        with pytest.raises(KeyError):
+            get_workload("conformance/not-a-seed")
+        with pytest.raises(KeyError):
+            get_workload("nosuchfamily/1")
+
+    def test_jobs_are_pool_safe(self):
+        """The pool ships only the spec: re-resolving it must reproduce the
+        exact cache key, or sweeps silently fall back to in-process runs."""
+        from repro.service.scheduler import CompileService
+        job = CompileJob(flow="ours", workload_name="conformance/7",
+                         engine="reference")
+        assert CompileJob.from_spec(job.spec()).key() == job.key()
+        assert CompileService._pool_safe(job)
+
+    def test_engine_is_key_material(self):
+        compiled = CompileJob(flow="ours", workload_name="conformance/7")
+        reference = CompileJob(flow="ours", workload_name="conformance/7",
+                               engine="reference")
+        assert compiled.key() != reference.key()

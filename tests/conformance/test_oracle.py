@@ -1,0 +1,184 @@
+"""Oracle behaviour: token comparison, divergence detection, sweeps."""
+
+import pytest
+
+from repro.conformance import (check_kernel, check_seed, default_configs,
+                               run_sweep)
+from repro.conformance.oracle import (FlowConfig, Observation,
+                                      compare_observations,
+                                      printed_difference)
+
+
+class TestPrintedComparison:
+    def test_identical_lines_match(self):
+        assert printed_difference(["1 2 3"], ["1 2 3"]) is None
+
+    def test_integer_tokens_compare_exactly(self):
+        assert printed_difference(["7"], ["8"]) is not None
+
+    def test_int_vs_float_rendering_of_same_value_matches(self):
+        # the flang runtime renders integer reductions through float();
+        # 30 and 30.0 are the same observable
+        assert printed_difference(["30"], ["30.0"]) is None
+
+    def test_real_tokens_compare_with_tolerance(self):
+        assert printed_difference(["0.30000000000000004"], ["0.3"]) is None
+        assert printed_difference(["0.300001"], ["0.3"]) is not None
+
+    def test_nan_matches_nan_only(self):
+        assert printed_difference(["nan"], ["nan"]) is None
+        assert printed_difference(["nan"], ["0.0"]) is not None
+
+    def test_line_and_token_count_mismatches(self):
+        assert printed_difference(["1"], ["1", "2"]) is not None
+        assert printed_difference(["1 2"], ["1"]) is not None
+
+
+def _obs(config, engine, printed=("1",), ok=True, stats=None, error=""):
+    return Observation(config=config, engine=engine, ok=ok,
+                       printed=tuple(printed), stats=stats, error=error)
+
+
+class TestCompareObservations:
+    CONFIGS = [FlowConfig(label="a", flow="a"), FlowConfig(label="b", flow="b")]
+
+    def _base(self, overrides=None):
+        observations = {
+            ("a", "compiled"): _obs("a", "compiled"),
+            ("a", "reference"): _obs("a", "reference"),
+            ("b", "compiled"): _obs("b", "compiled"),
+            ("b", "reference"): _obs("b", "reference"),
+        }
+        observations.update(overrides or {})
+        return observations
+
+    def test_clean_observations_have_no_divergence(self):
+        assert compare_observations(self._base(), self.CONFIGS) == []
+
+    def test_engine_output_divergence_is_bit_exact(self):
+        # 1e-12 apart: fine across flows, NOT fine across engines
+        observations = self._base({
+            ("a", "reference"): _obs("a", "reference",
+                                     printed=("1.000000000001",)),
+            ("a", "compiled"): _obs("a", "compiled", printed=("1.0",)),
+            ("b", "compiled"): _obs("b", "compiled", printed=("1.0",)),
+            ("b", "reference"): _obs("b", "reference", printed=("1.0",)),
+        })
+        kinds = [d.kind for d in compare_observations(observations, self.CONFIGS)]
+        assert kinds == ["engine-output"]
+
+    def test_cross_flow_divergence(self):
+        observations = self._base({
+            ("b", "compiled"): _obs("b", "compiled", printed=("2",)),
+            ("b", "reference"): _obs("b", "reference", printed=("2",)),
+        })
+        divergences = compare_observations(observations, self.CONFIGS)
+        assert [d.kind for d in divergences] == ["flow-output"]
+        assert divergences[0].left == "a@compiled"
+        assert divergences[0].right == "b@compiled"
+
+    def test_engine_stats_divergence(self):
+        from repro.machine import ExecutionStats
+        from repro.service.serialization import stats_to_dict
+        stats_a, stats_b = ExecutionStats(), ExecutionStats()
+        stats_b.bump("serial", "arith")
+        observations = self._base({
+            ("a", "compiled"): _obs("a", "compiled",
+                                    stats=stats_to_dict(stats_a)),
+            ("a", "reference"): _obs("a", "reference",
+                                     stats=stats_to_dict(stats_b)),
+        })
+        divergences = compare_observations(observations, self.CONFIGS)
+        assert [d.kind for d in divergences] == ["engine-stats"]
+        assert "arith" in divergences[0].detail
+
+    def test_single_flow_failure_is_flagged(self):
+        observations = self._base({
+            ("b", "compiled"): _obs("b", "compiled", ok=False, error="boom"),
+            ("b", "reference"): _obs("b", "reference", ok=False, error="boom"),
+        })
+        kinds = [d.kind for d in compare_observations(observations, self.CONFIGS)]
+        assert kinds == ["flow-error"]
+
+    def test_engine_error_asymmetry_is_flagged(self):
+        observations = self._base({
+            ("b", "reference"): _obs("b", "reference", ok=False, error="boom"),
+        })
+        kinds = [d.kind for d in compare_observations(observations, self.CONFIGS)]
+        assert "engine-error" in kinds
+
+    def test_all_failing_is_one_divergence(self):
+        observations = {(c.label, e): _obs(c.label, e, ok=False, error="nope")
+                        for c in self.CONFIGS
+                        for e in ("compiled", "reference")}
+        kinds = [d.kind for d in compare_observations(observations, self.CONFIGS)]
+        assert kinds == ["all-failed"]
+
+
+class TestDefaultConfigs:
+    def test_contains_builtin_flows_and_baseline(self):
+        labels = {config.label for config in default_configs()}
+        assert {"flang", "ours", "ours@noopt"} <= labels
+
+    def test_picks_up_registered_flows(self):
+        from repro.flows import Flow, registered
+
+        class NullFlow(Flow):
+            name = "null-flow-under-test"
+
+        with registered(NullFlow):
+            labels = {config.label for config in default_configs()}
+        assert "null-flow-under-test" in labels
+
+
+class TestKernelChecks:
+    def test_handwritten_kernel_is_conformant(self):
+        report = check_kernel("""
+program p
+  implicit none
+  integer :: q, r
+  q = (-7) / 2
+  r = mod(-7, 2)
+  print *, q, r
+end program p
+""")
+        assert report.ok, [d.describe() for d in report.divergences]
+        # 3 configs x 2 engines observed
+        assert len(report.observations) == 6
+        assert all(o.ok for o in report.observations.values())
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_generated_seeds_are_conformant(self, seed):
+        report = check_seed(seed)
+        assert report.ok, [d.describe() for d in report.divergences]
+
+
+class TestServiceSweep:
+    def test_small_sweep_through_the_service(self):
+        report = run_sweep(range(2))
+        assert report.ok
+        assert len(report.seeds) == 2
+        assert report.service_counters["recompilations"] == \
+            2 * len(report.configs) * 2
+
+    def test_warm_sweep_recompiles_nothing(self):
+        from repro.service import CompileService
+        service = CompileService()
+        run_sweep(range(2), service=service)
+        cold = service.recompilations
+        report = run_sweep(range(2), service=service)
+        assert report.ok
+        assert service.recompilations == cold
+
+
+@pytest.mark.slow
+@pytest.mark.conformance
+class TestConformanceSweep:
+    """The bigger sweep tier: excluded from tier-1, run by the CI smoke job
+    (which sweeps seeds 0-63 through the CLI) and by hand."""
+
+    def test_seeds_0_to_31_in_process(self):
+        for seed in range(32):
+            report = check_seed(seed)
+            assert report.ok, (seed,
+                               [d.describe() for d in report.divergences])

@@ -100,11 +100,48 @@ end program p
         assert "fir.iterate_while" not in names
         assert last_value(run_flang(src)) == last_value(run_ours(src)) == 16.0
 
-    @pytest.mark.xfail(reason="EXIT from inside a nested IF block is a known "
-                              "frontend limitation (no benchmark relies on it); "
-                              "both flows agree with each other but not with "
-                              "full Fortran semantics", strict=False)
+    def test_exit_preserves_do_variable(self):
+        """F2018 11.1.7.4.3: the do-variable keeps its value at the moment
+        of EXIT, not the loop's normal-completion value."""
+        src = """
+program p
+  implicit none
+  integer :: i
+  do i = 1, 10
+    if (i == 3) then
+      exit
+    end if
+  end do
+  print *, i
+end program p
+"""
+        assert last_value(run_flang(src)) == last_value(run_ours(src)) == 3.0
+
+    def test_i64_reductions_outside_i32_range(self):
+        """Reduction sentinels follow the element width: i64 maxval/minval
+        below i32 range must not return the i32 sentinel (both the linalg
+        init and the vectorised accumulator paths)."""
+        src = """
+program p
+  implicit none
+  integer(kind=8) :: m, big(8)
+  integer :: i
+  m = 100000
+  m = m * 100000 * (-3)
+  do i = 1, 8
+    big(i) = m - i
+  end do
+  print *, maxval(big), minval(big)
+end program p
+"""
+        for interp in (run_flang(src), run_ours(src),
+                       run_ours(src, vector_width=0)):
+            values = [float(tok) for tok in interp.printed[-1].split()]
+            assert values == [-30000000001.0, -30000000008.0]
+
     def test_exit_loop_preserves_semantics(self):
+        """EXIT from inside a nested IF block desugars to a flag-guarded
+        loop in semantics, giving exact Fortran semantics on every flow."""
         src = """
 program p
   implicit none

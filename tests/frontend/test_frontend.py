@@ -112,6 +112,46 @@ end program p
         loop = [s for s in unit.subprograms[0].body if isinstance(s, ast.DoLoop)][0]
         assert isinstance(loop.step, ast.UnaryOp)
 
+    def test_select_case_values_ranges_and_default(self):
+        unit = parse_source("""
+program p
+  integer :: x, y
+  x = 3
+  select case (x)
+  case (1, 2)
+    y = 1
+  case (4:9)
+    y = 2
+  case (:0)
+    y = 3
+  case default
+    y = 4
+  end select
+end program p
+""")
+        select = [s for s in unit.subprograms[0].body
+                  if isinstance(s, ast.SelectCase)][0]
+        assert len(select.cases) == 3
+        assert [len(c.items) for c in select.cases] == [2, 1, 1]
+        assert not select.cases[0].items[0].is_range
+        assert select.cases[1].items[0].is_range
+        assert select.cases[2].items[0].lower is None
+        assert select.default_body
+
+    def test_select_case_one_word_endselect(self):
+        unit = parse_source("""
+program p
+  integer :: x, y
+  x = 1
+  select case (x)
+  case (1)
+    y = 1
+  endselect
+end program p
+""")
+        assert any(isinstance(s, ast.SelectCase)
+                   for s in unit.subprograms[0].body)
+
     def test_do_while_and_exit(self):
         unit = parse_source("""
 program p

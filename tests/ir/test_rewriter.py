@@ -1,0 +1,226 @@
+"""Greedy pattern-driver and region-surgery tests for ``repro.ir.rewriter``.
+
+Covers the driver guarantees the transformation passes rely on: fixpoint
+convergence, the max-iteration guard on non-converging pattern sets,
+``was_erased`` safety when one rewrite erases ops that are still in the walk
+snapshot, and use-chain integrity of ``inline_block_before`` /
+``inline_region_before``.
+"""
+
+import pytest
+
+from repro.dialects import arith
+from repro.ir import (Block, PatternRewriter, Region, RewritePattern,
+                      apply_patterns_greedily, create_operation)
+from repro.ir import types as T
+from repro.ir.core import IRError
+
+
+def _holder(*ops):
+    """A module-like op holding one block with ``ops``."""
+    block = Block()
+    block.add_ops(list(ops))
+    return create_operation("builtin.module", regions=[Region([block])]), block
+
+
+def _constant_value(op):
+    return op.get_attr("value").value
+
+
+class FoldConstantAdd(RewritePattern):
+    """addi(const, const) -> const  (a genuinely converging pattern)."""
+
+    ROOT_OP = "arith.addi"
+
+    def match_and_rewrite(self, op, rewriter: PatternRewriter) -> bool:
+        lhs = getattr(op.operands[0], "op", None)
+        rhs = getattr(op.operands[1], "op", None)
+        if lhs is None or rhs is None:
+            return False
+        if lhs.name != "arith.constant" or rhs.name != "arith.constant":
+            return False
+        folded = arith.ConstantOp(
+            _constant_value(lhs) + _constant_value(rhs), op.results[0].type)
+        rewriter.replace_op(op, folded)
+        return True
+
+
+class TestConvergence:
+    def test_chain_folds_to_fixpoint(self):
+        # ((1 + 2) + 3) + 4 — needs several iterations to fold completely
+        c1 = arith.ConstantOp(1, T.i32)
+        c2 = arith.ConstantOp(2, T.i32)
+        c3 = arith.ConstantOp(3, T.i32)
+        c4 = arith.ConstantOp(4, T.i32)
+        a1 = arith.AddIOp(c1.result, c2.result)
+        a2 = arith.AddIOp(a1.result, c3.result)
+        a3 = arith.AddIOp(a2.result, c4.result)
+        consumer = arith.MulIOp(a3.result, a3.result)
+        holder, block = _holder(c1, c2, c3, c4, a1, a2, a3, consumer)
+
+        assert apply_patterns_greedily(holder, [FoldConstantAdd()])
+        assert all(op.name != "arith.addi" for op in block.ops)
+        final = getattr(consumer.operands[0], "op")
+        assert final.name == "arith.constant"
+        assert _constant_value(final) == 10
+
+    def test_no_match_returns_false_and_leaves_ir_alone(self):
+        c = arith.ConstantOp(5, T.i32)
+        neg = arith.SubIOp(c.result, c.result)
+        holder, block = _holder(c, neg)
+        assert not apply_patterns_greedily(holder, [FoldConstantAdd()])
+        assert [op.name for op in block.ops] == ["arith.constant", "arith.subi"]
+
+
+class TestMaxIterationGuard:
+    def test_non_converging_pattern_terminates(self):
+        class AlwaysModified(RewritePattern):
+            """Reports a modification every visit without changing the IR."""
+
+            calls = 0
+
+            def match_and_rewrite(self, op, rewriter: PatternRewriter) -> bool:
+                if op.name != "arith.constant":
+                    return False
+                AlwaysModified.calls += 1
+                rewriter.notify_modified()
+                return False   # the driver must still count rewriter.modified
+
+        c = arith.ConstantOp(1, T.i32)
+        holder, _ = _holder(c)
+        # must terminate despite never reaching a fixpoint...
+        assert apply_patterns_greedily(holder, [AlwaysModified()],
+                                       max_iterations=7)
+        # ... and must have run exactly max_iterations sweeps
+        assert AlwaysModified.calls == 7
+
+    def test_max_iterations_bounds_rewrites(self):
+        class GrowChain(RewritePattern):
+            """Replaces each constant with constant+1 — never converges."""
+
+            ROOT_OP = "arith.constant"
+
+            def match_and_rewrite(self, op, rewriter: PatternRewriter) -> bool:
+                new = arith.ConstantOp(_constant_value(op) + 1,
+                                       op.results[0].type)
+                rewriter.replace_op(op, new)
+                return True
+
+        c = arith.ConstantOp(0, T.i32)
+        use = arith.AddIOp(c.result, c.result)
+        holder, block = _holder(c, use)
+        apply_patterns_greedily(holder, [GrowChain()], max_iterations=5)
+        constants = [op for op in block.ops if op.name == "arith.constant"]
+        assert len(constants) == 1
+        assert _constant_value(constants[0]) == 5
+
+
+class TestErasureSafety:
+    def test_was_erased_skips_ops_removed_by_earlier_rewrites(self):
+        """A pattern erasing the *next* op in the walk snapshot must not
+        cause that op to be revisited (or re-erased)."""
+        visits = []
+
+        class EraseFollowingConstant(RewritePattern):
+            def match_and_rewrite(self, op, rewriter: PatternRewriter) -> bool:
+                visits.append(op.name)
+                if op.name != "arith.subi":
+                    return False
+                victim = getattr(op.operands[0], "op")
+                rewriter.replace_op_with_values(op, [victim.operands[0]])
+                # also erase the now-unused add: it is later in the snapshot
+                rewriter.erase_op(victim, check_uses=False)
+                return True
+
+        c = arith.ConstantOp(3, T.i32)
+        add = arith.AddIOp(c.result, c.result)
+        sub = arith.SubIOp(add.result, c.result)
+        # walk order: c, sub, add — sub's rewrite erases add before the
+        # driver reaches it
+        holder, block = _holder(c, sub, add)
+        apply_patterns_greedily(holder, [EraseFollowingConstant()])
+        assert [op.name for op in block.ops] == ["arith.constant"]
+        # add was never visited after its erasure
+        assert visits.count("arith.addi") == 0
+
+    def test_rewriter_records_erasures(self):
+        c = arith.ConstantOp(3, T.i32)
+        holder, _ = _holder(c)
+        rewriter = PatternRewriter(holder)
+        assert not rewriter.was_erased(c)
+        rewriter.erase_op(c, check_uses=False)
+        assert rewriter.was_erased(c)
+        assert rewriter.modified
+
+    def test_replace_op_checks_result_arity(self):
+        c = arith.ConstantOp(1, T.i32)
+        add = arith.AddIOp(c.result, c.result)
+        holder, _ = _holder(c, add)
+        rewriter = PatternRewriter(holder)
+        with pytest.raises(IRError):
+            rewriter.replace_op(add, [], new_results=[])
+
+
+class TestRegionInlining:
+    def _region_op(self, arg_types):
+        """An op with one single-block region taking ``arg_types``."""
+        inner = Block(arg_types=arg_types)
+        region = Region([inner])
+        op = create_operation("test.wrapper", regions=[region])
+        return op, inner
+
+    def test_inline_block_before_remaps_block_args(self):
+        outer_const = arith.ConstantOp(41, T.i32)
+        wrapper, inner = self._region_op([T.i32])
+        inner_add = arith.AddIOp(inner.args[0], inner.args[0])
+        inner.add_op(inner_add)
+        anchor = arith.ConstantOp(0, T.i32)
+        holder, block = _holder(outer_const, wrapper, anchor)
+
+        rewriter = PatternRewriter(holder)
+        rewriter.inline_block_before(inner, anchor, [outer_const.result])
+        # the add moved out, and its operand was remapped to the outer value
+        assert inner_add.parent is block
+        assert inner_add.operands[0] is outer_const.result
+        assert inner_add.operands[1] is outer_const.result
+        assert block.ops.index(inner_add) < block.ops.index(anchor)
+        assert not inner.ops
+        # block args no longer carry uses
+        assert inner.args[0].num_uses == 0
+        assert rewriter.modified
+
+    def test_inline_block_before_arity_mismatch(self):
+        wrapper, inner = self._region_op([T.i32, T.i32])
+        anchor = arith.ConstantOp(0, T.i32)
+        holder, _ = _holder(wrapper, anchor)
+        rewriter = PatternRewriter(holder)
+        with pytest.raises(IRError):
+            rewriter.inline_block_before(inner, anchor, [])
+
+    def test_inline_region_before_single_block_only(self):
+        wrapper, _ = self._region_op([])
+        wrapper.regions[0].add_block(Block())
+        anchor = arith.ConstantOp(0, T.i32)
+        holder, _ = _holder(wrapper, anchor)
+        rewriter = PatternRewriter(holder)
+        with pytest.raises(IRError):
+            rewriter.inline_region_before(wrapper.regions[0], anchor)
+
+    def test_inline_region_before_preserves_use_chains(self):
+        outer = arith.ConstantOp(5, T.i32)
+        wrapper, inner = self._region_op([T.i32])
+        doubled = arith.AddIOp(inner.args[0], inner.args[0])
+        squared = arith.MulIOp(doubled.result, doubled.result)
+        inner.add_ops([doubled, squared])
+        anchor = arith.ConstantOp(0, T.i32)
+        holder, block = _holder(outer, wrapper, anchor)
+
+        rewriter = PatternRewriter(holder)
+        rewriter.inline_region_before(wrapper.regions[0], anchor,
+                                      [outer.result])
+        # def-use chain between the two inlined ops is intact
+        assert squared.operands[0] is doubled.result
+        assert doubled.result.num_uses == 2
+        assert [op.name for op in block.ops] == [
+            "arith.constant", "test.wrapper", "arith.addi", "arith.muli",
+            "arith.constant"]

@@ -1,0 +1,91 @@
+"""Registry-wide cross-engine stats parity.
+
+PR 3 spot-checked one polyhedron kernel and one stencil; this extends the
+guarantee to **every registered workload family** (and the conformance
+generator's family): the cached-dispatch engine and the one-op reference
+engine must produce bit-identical :class:`ExecutionStats` and printed
+output for the same compiled module.
+"""
+
+import pytest
+
+from repro.flows import get_flow
+from repro.machine import Interpreter
+from repro.service.serialization import stats_to_dict
+from repro.workloads import all_workloads, get_workload
+
+
+def _families():
+    """One representative per category: the smallest kernel by modelled work."""
+    by_category = {}
+    for workload in all_workloads():
+        by_category.setdefault(workload.category, []).append(workload)
+    return sorted(
+        (category,
+         min(members,
+             key=lambda w: w.work_model(dict(w.interp_params))).name)
+        for category, members in by_category.items())
+
+
+FAMILIES = _families()
+
+
+def _assert_engines_identical(module):
+    reference = Interpreter(module, compile_blocks=False)
+    reference.run_main()
+    compiled = Interpreter(module, compile_blocks=True)
+    compiled.run_main()
+    assert compiled.printed == reference.printed
+    assert stats_to_dict(compiled.stats) == stats_to_dict(reference.stats)
+    assert not compiled.stats.diff(reference.stats)
+
+
+class TestEngineParityAcrossRegistry:
+    def test_every_category_is_covered(self):
+        assert [category for category, _ in FAMILIES] == \
+            ["intrinsic", "polyhedron", "stencil"]
+
+    @pytest.mark.parametrize(("category", "name"), FAMILIES,
+                             ids=[c for c, _ in FAMILIES])
+    def test_family_representative_flang_flow(self, category, name):
+        result = get_flow("flang").run(get_workload(name))
+        _assert_engines_identical(result.module)
+
+    @pytest.mark.parametrize(("category", "name"), FAMILIES,
+                             ids=[c for c, _ in FAMILIES])
+    def test_family_representative_ours_flow(self, category, name):
+        result = get_flow("ours").run(get_workload(name))
+        _assert_engines_identical(result.module)
+
+    def test_conformance_family_representative(self):
+        workload = get_workload("conformance/0")
+        for flow in ("flang", "ours"):
+            _assert_engines_identical(get_flow(flow).run(workload).module)
+
+
+class TestStatsDiff:
+    def test_diff_is_empty_for_identical_stats(self):
+        from repro.machine import ExecutionStats
+        assert ExecutionStats().diff(ExecutionStats()) == []
+
+    def test_diff_does_not_mutate_either_side(self):
+        from repro.machine import ExecutionStats
+        from repro.service.serialization import stats_to_dict
+        a, b = ExecutionStats(), ExecutionStats()
+        b.bump("gpu", "x")
+        before_a, before_b = stats_to_dict(a), stats_to_dict(b)
+        a.diff(b)
+        assert "gpu" not in a.counts
+        assert stats_to_dict(a) == before_a and stats_to_dict(b) == before_b
+
+    def test_diff_names_the_diverging_field(self):
+        from repro.machine import ExecutionStats
+        a, b = ExecutionStats(), ExecutionStats()
+        a.bump("serial", "arith")
+        b.bump("parallel", "mem")
+        b.runtime_calls["_FortranASumReal8"] += 1
+        details = a.diff(b)
+        text = "\n".join(details)
+        assert "counts[serial][arith]" in text
+        assert "counts[parallel][mem]" in text
+        assert "runtime_calls[_FortranASumReal8]" in text

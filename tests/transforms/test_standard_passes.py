@@ -4,12 +4,33 @@ import pytest
 
 from repro.core import StandardMLIRCompiler, convert_fir_to_standard
 from repro.core.pipelines import base_pipeline, to_llvm_pipeline
-from repro.dialects import dialects_used
+from repro.dialects import arith, dialects_used, func as func_d, memref, scf
 from repro.flang import FlangCompiler
-from repro.ir import PassManager
+from repro.ir import Block, PassManager
+from repro.ir import types as T
 from repro.ir.printer import print_op
+from repro.machine import Interpreter
+from repro.transforms.cleanup import (FoldMemrefAliasOpsPass,
+                                      ForwardScalarStoresPass,
+                                      LoopInvariantCodeMotionPass)
 
 from ..conftest import last_value, run_flang, run_ours
+
+
+def _interpret_printed(module):
+    interp = Interpreter(module)
+    interp.run_main()
+    return interp.printed
+
+
+def _run_pass_and_compare(source, pass_pipeline):
+    """Execution equivalence: printed output identical before/after passes."""
+    before = _interpret_printed(standard_module(source))
+    module = standard_module(source)
+    PassManager.from_pipeline(pass_pipeline).run(module)
+    after = _interpret_printed(module)
+    assert after == before, (before, after)
+    return module
 
 
 def standard_module(source):
@@ -72,6 +93,190 @@ class TestCleanupPasses:
         interp.run_main()
         assert float(interp.printed[-1]) == pytest.approx(
             sum(i * 3.0 for i in range(1, 13)) - 100.0)
+
+
+def _loop_module(body_builder):
+    """A func with one scf.for over [0, 8); ``body_builder(body, iv)``
+    populates the loop body and returns ops of interest."""
+    fn = func_d.FuncOp("main", T.FunctionType((), ()))
+    entry = fn.entry_block
+    lb = arith.ConstantOp(0, T.index)
+    ub = arith.ConstantOp(8, T.index)
+    step = arith.ConstantOp(1, T.index)
+    entry.add_ops([lb, ub, step])
+    loop = scf.ForOp(lb.result, ub.result, step.result)
+    interesting = body_builder(loop.body, loop.body.args[0], entry)
+    loop.body.add_op(scf.YieldOp())
+    entry.add_op(loop)
+    entry.add_op(func_d.ReturnOp())
+    from repro.dialects.builtin import ModuleOp
+    return ModuleOp([fn]), loop, interesting
+
+
+class TestLoopInvariantCodeMotion:
+    def test_invariant_pure_op_is_hoisted(self):
+        def build(body, iv, entry):
+            c1 = arith.ConstantOp(2, T.i32)
+            c2 = arith.ConstantOp(3, T.i32)
+            entry.add_ops([c1, c2])
+            invariant = arith.AddIOp(c1.result, c2.result)
+            body.add_op(invariant)
+            sink = memref.AllocaOp(T.MemRefType([], T.i32))
+            entry.add_op(sink)
+            body.add_op(memref.StoreOp(invariant.result, sink.results[0], []))
+            return invariant
+
+        module, loop, invariant = _loop_module(build)
+        LoopInvariantCodeMotionPass().run(module)
+        assert invariant.parent is not loop.body
+        assert invariant.parent is loop.parent
+
+    def test_impure_ops_are_not_hoisted(self):
+        """Stores are loop-invariant by operand analysis here, but impure:
+        hoisting one would change how many times memory is written."""
+        def build(body, iv, entry):
+            cell = memref.AllocaOp(T.MemRefType([], T.i32))
+            value = arith.ConstantOp(7, T.i32)
+            entry.add_ops([cell, value])
+            store = memref.StoreOp(value.result, cell.results[0], [])
+            body.add_op(store)
+            return store
+
+        module, loop, store = _loop_module(build)
+        LoopInvariantCodeMotionPass().run(module)
+        assert store.parent is loop.body
+
+    def test_induction_dependent_ops_are_not_hoisted(self):
+        def build(body, iv, entry):
+            scaled = arith.MulIOp(iv, iv)
+            body.add_op(scaled)
+            cell = memref.AllocaOp(T.MemRefType([], T.index))
+            entry.add_op(cell)
+            body.add_op(memref.StoreOp(scaled.result, cell.results[0], []))
+            return scaled
+
+        module, loop, scaled = _loop_module(build)
+        LoopInvariantCodeMotionPass().run(module)
+        assert scaled.parent is loop.body
+
+    def test_execution_equivalence(self):
+        _run_pass_and_compare(
+            SRC, "builtin.module(loop-invariant-code-motion)")
+
+
+class TestForwardScalarStores:
+    def _cell_with_store_load(self, between=()):
+        fn = func_d.FuncOp("main", T.FunctionType((), ()))
+        entry = fn.entry_block
+        cell = memref.AllocaOp(T.MemRefType([], T.i32))
+        value = arith.ConstantOp(11, T.i32)
+        entry.add_ops([cell, value])
+        entry.add_op(memref.StoreOp(value.result, cell.results[0], []))
+        for op in between:
+            entry.add_op(op)
+        load = memref.LoadOp(cell.results[0], [])
+        entry.add_op(load)
+        # keep the loaded value live in a way no cleanup can eliminate
+        sink = func_d.CallOp("consume", [load.results[0]], [])
+        entry.add_op(sink)
+        entry.add_op(func_d.ReturnOp())
+        from repro.dialects.builtin import ModuleOp
+        return ModuleOp([fn]), value, load, sink
+
+    def test_store_forwards_to_load(self):
+        module, value, load, sink = self._cell_with_store_load()
+        ForwardScalarStoresPass().run(module)
+        assert load.parent is None          # the load was folded away
+        assert sink.operands[0] is value.result
+
+    def test_intervening_call_blocks_forwarding(self):
+        """A call may write any scalar passed by reference: the tracked
+        value must be invalidated, not forwarded across the call."""
+        call = func_d.CallOp("opaque", [], [])
+        module, value, load, _ = self._cell_with_store_load(between=[call])
+        ForwardScalarStoresPass().run(module)
+        assert load.parent is not None      # load survives
+
+    def test_region_op_blocks_forwarding(self):
+        cond = arith.ConstantOp(True, T.i1)
+        branch = scf.IfOp(cond.result)
+        branch.then_block.add_op(scf.YieldOp())
+        branch.else_block.add_op(scf.YieldOp())
+        module, value, load, _ = self._cell_with_store_load(
+            between=[cond, branch])
+        ForwardScalarStoresPass().run(module)
+        assert load.parent is not None
+
+    def test_array_store_does_not_invalidate_scalar(self):
+        array = memref.AllocaOp(T.MemRefType([4], T.i32))
+        index = arith.ConstantOp(0, T.index)
+        elem = arith.ConstantOp(5, T.i32)
+        store = memref.StoreOp(elem.result, array.results[0], [index.result])
+        module, value, load, _ = self._cell_with_store_load(
+            between=[array, index, elem, store])
+        ForwardScalarStoresPass().run(module)
+        assert load.parent is None          # rank>0 store cannot alias rank-0
+
+    def test_execution_equivalence(self):
+        _run_pass_and_compare(SRC, "builtin.module(forward-scalar-stores)")
+
+
+class TestFoldMemrefAliasOpsUnitTests:
+    def _subview_load(self, stride):
+        fn = func_d.FuncOp("main", T.FunctionType((), ()))
+        entry = fn.entry_block
+        base = memref.AllocaOp(T.MemRefType([10], T.f64))
+        offset = arith.ConstantOp(3, T.index)
+        size = arith.ConstantOp(3, T.index)
+        stride_c = arith.ConstantOp(stride, T.index)
+        entry.add_ops([base, offset, size, stride_c])
+        subview = memref.SubViewOp(base.results[0], [offset.result],
+                                   [size.result], [stride_c.result])
+        entry.add_op(subview)
+        index = arith.ConstantOp(1, T.index)
+        entry.add_op(index)
+        load = memref.LoadOp(subview.results[0], [index.result])
+        entry.add_op(load)
+        entry.add_op(func_d.ReturnOp())
+        from repro.dialects.builtin import ModuleOp
+        return ModuleOp([fn]), base, subview, load
+
+    def test_unit_stride_subview_is_folded(self):
+        module, base, subview, load = self._subview_load(stride=1)
+        FoldMemrefAliasOpsPass().run(module)
+        assert load.operands[0] is base.results[0]
+        # the rebased index is offset + index, materialised as an addi
+        assert getattr(load.operands[1], "op").name == "arith.addi"
+
+    def test_strided_subview_is_not_folded(self):
+        """Folding a non-unit-stride view as a plain offset would read the
+        wrong elements: the pass must leave it alone."""
+        module, base, subview, load = self._subview_load(stride=2)
+        FoldMemrefAliasOpsPass().run(module)
+        assert load.operands[0] is subview.results[0]
+
+    def test_execution_equivalence_on_section_call(self):
+        src = """
+subroutine total(v, t)
+  implicit none
+  real(kind=8), dimension(3), intent(in) :: v
+  real(kind=8), intent(out) :: t
+  t = v(1) + v(2) + v(3)
+end subroutine total
+
+program p
+  implicit none
+  real(kind=8), dimension(10) :: a
+  real(kind=8) :: t
+  integer :: i
+  do i = 1, 10
+    a(i) = real(i, 8)
+  end do
+  call total(a(4:6), t)
+  print *, t
+end program p
+"""
+        _run_pass_and_compare(src, "builtin.module(fold-memref-alias-ops)")
 
 
 class TestConversions:
