@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""Compile-side benchmark: per-flow pass-pipeline wall time, to JSON.
+
+The interpreter side has had a tracked trajectory (``BENCH_interpreter.json``)
+since the cached-dispatch engine landed; conformance sweeps made *compile*
+time a co-equal bottleneck — hundreds of kernels go through every flow's
+pass pipeline per sweep — yet it had no trajectory at all.  This benchmark
+runs every registered flow over representative registry workloads with
+statistics collection on, and records
+
+* the end-to-end flow wall time (frontend + passes + printing bookkeeping),
+* the total pass-pipeline time from the flow's
+  :class:`~repro.ir.pass_manager.PassTimingReport`, and
+* the per-pass wall time / IR-size delta breakdown,
+
+into ``BENCH_compile.json`` so CI can track compile-side performance the
+same way it tracks ops/sec.  Exits non-zero when a flow errors on a
+workload it is expected to compile.
+
+Usage: ``PYTHONPATH=src python benchmarks/compile_bench.py [--quick]
+[output.json]``
+"""
+
+import json
+import platform
+import sys
+import time
+from datetime import datetime, timezone
+
+from repro.flows import available_flows, get_flow
+from repro.workloads import get_workload
+
+WORKLOADS = ["ac", "linpk", "tfft", "jacobi", "tra-adv", "dotproduct"]
+QUICK_WORKLOADS = ["ac", "jacobi"]
+DEFAULT_OUTPUT = "BENCH_compile.json"
+
+
+def bench_flow(flow_name: str, workload_name: str):
+    flow = get_flow(flow_name)
+    workload = get_workload(workload_name)
+    t0 = time.perf_counter()
+    result = flow.run(workload, collect_statistics=True)
+    wall_s = time.perf_counter() - t0
+    if result.error is not None:
+        return {"flow": flow_name, "workload": workload_name, "ok": False,
+                "error": result.error, "wall_s": round(wall_s, 4)}
+    timing = result.timing
+    entry = {
+        "flow": flow_name,
+        "workload": workload_name,
+        "ok": True,
+        "wall_s": round(wall_s, 4),
+        "pass_total_s": round(timing.total_s, 4) if timing is not None else None,
+        "passes": [t.as_dict() for t in timing.timings]
+        if timing is not None else [],
+    }
+    return entry
+
+
+def main() -> int:
+    argv = sys.argv[1:]
+    quick = "--quick" in argv
+    argv = [a for a in argv if a != "--quick"]
+    output = argv[0] if argv else DEFAULT_OUTPUT
+
+    runs = []
+    failures = 0
+    for flow_name in available_flows():
+        for workload_name in QUICK_WORKLOADS if quick else WORKLOADS:
+            entry = bench_flow(flow_name, workload_name)
+            runs.append(entry)
+            if not entry["ok"]:
+                failures += 1
+                print(f"{flow_name:6s} {workload_name:10s} "
+                      f"FAILED: {entry['error']}", file=sys.stderr)
+                continue
+            slowest = max(entry["passes"], key=lambda p: p["wall_s"],
+                          default=None)
+            slowest_text = (f"slowest {slowest['pass']} "
+                            f"{slowest['wall_s'] * 1000:6.1f}ms"
+                            if slowest else "no pass timings")
+            print(f"{flow_name:6s} {workload_name:10s} "
+                  f"flow {entry['wall_s'] * 1000:7.1f}ms  "
+                  f"passes {(entry['pass_total_s'] or 0) * 1000:7.1f}ms  "
+                  f"{slowest_text}")
+
+    ok_runs = [r for r in runs if r["ok"]]
+    per_pass_totals = {}
+    for run in ok_runs:
+        for timing in run["passes"]:
+            per_pass_totals[timing["pass"]] = \
+                per_pass_totals.get(timing["pass"], 0.0) + timing["wall_s"]
+    report = {
+        "benchmark": "compile_bench",
+        "quick": quick,
+        "timestamp": datetime.now(timezone.utc).isoformat(),
+        "python": platform.python_version(),
+        "runs": runs,
+        "total_flow_wall_s": round(sum(r["wall_s"] for r in ok_runs), 4),
+        "total_pass_wall_s": round(
+            sum(r["pass_total_s"] or 0.0 for r in ok_runs), 4),
+        "per_pass_total_s": {name: round(total, 4) for name, total
+                             in sorted(per_pass_totals.items(),
+                                       key=lambda kv: -kv[1])},
+    }
+    with open(output, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+    print(json.dumps({k: v for k, v in report.items() if k != "runs"},
+                     indent=2))
+
+    if failures:
+        print(f"FAIL: {failures} flow run(s) errored", file=sys.stderr)
+        return 1
+    print(f"OK: {len(ok_runs)} flow runs, "
+          f"total pass time {report['total_pass_wall_s']}s")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

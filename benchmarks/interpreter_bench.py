@@ -1,24 +1,29 @@
 #!/usr/bin/env python3
-"""Interpreter benchmark: ops/sec through both flows, to JSON.
+"""Interpreter benchmark: ops/sec for all three engines, to JSON.
 
 Compiles representative Polyhedron and stencil workloads once per flow
 (baseline Flang/FIR level and the standard-MLIR flow), then interprets each
 module with
 
-* the cached-dispatch engine (per-block compiled thunk lists, batched limit
-  checks, pre-fetched stats counters — the default), and
-* the reference engine (``compile_blocks=False``: per-op string-built
-  ``getattr`` dispatch and per-op limit checks, the pre-cached-dispatch
-  behaviour),
+* the ``reference`` engine (one op at a time, string-built ``getattr``
+  dispatch — the pre-cached-dispatch behaviour),
+* the ``compiled`` cached-dispatch engine (per-block compiled thunk lists,
+  batched limit checks, pre-fetched stats counters), and
+* the ``jit`` trace-compiling engine (blocks and structured loop bodies
+  translated into generated Python source, run as one code object),
 
-and writes wall time, dynamic op counts, ops/sec and the speedup per
+and writes wall time, dynamic op counts, ops/sec and the speedups per
 (workload, flow) to ``BENCH_interpreter.json`` so CI can track the
-performance trajectory.  Exits non-zero if the two engines disagree on
-statistics or program output (they must be bit-identical), or if the
+performance trajectory.  Exits non-zero if any engine disagrees on
+statistics or program output (all three must be bit-identical), or if the
 cached-dispatch engine fails to beat the reference engine overall.
 
+``--check-floor`` additionally fails the run when the compiled engine's
+overall speedup over the reference engine regresses below 2.0x (the CI
+regression gate).
+
 Usage: ``PYTHONPATH=src python benchmarks/interpreter_bench.py [--quick]
-[output.json]``
+[--check-floor] [output.json]``
 """
 
 import json
@@ -38,6 +43,9 @@ from repro.workloads import get_workload
 WORKLOADS = ["ac", "linpk", "tfft", "jacobi", "tra-adv"]
 QUICK_WORKLOADS = ["ac", "jacobi"]
 DEFAULT_OUTPUT = "BENCH_interpreter.json"
+#: CI gate: the cached-dispatch engine must stay at least this much faster
+#: than the reference engine overall (``--check-floor``).
+COMPILED_SPEEDUP_FLOOR = 2.0
 
 
 def compile_both(source: str):
@@ -46,8 +54,8 @@ def compile_both(source: str):
     return {"flang-fir": fir, "ours": ours}
 
 
-def timed_run(module, compile_blocks: bool):
-    interp = Interpreter(module, compile_blocks=compile_blocks)
+def timed_run(module, engine: str):
+    interp = Interpreter(module, engine=engine)
     t0 = time.perf_counter()
     interp.run_main()
     return time.perf_counter() - t0, interp
@@ -56,7 +64,8 @@ def timed_run(module, compile_blocks: bool):
 def main() -> int:
     argv = sys.argv[1:]
     quick = "--quick" in argv
-    argv = [a for a in argv if a != "--quick"]
+    check_floor = "--check-floor" in argv
+    argv = [a for a in argv if a not in ("--quick", "--check-floor")]
     output = argv[0] if argv else DEFAULT_OUTPUT
 
     runs = []
@@ -64,10 +73,13 @@ def main() -> int:
     for name in QUICK_WORKLOADS if quick else WORKLOADS:
         source = get_workload(name).source(scaled=True)
         for flow, module in compile_both(source).items():
-            ref_s, ref = timed_run(module, compile_blocks=False)
-            new_s, new = timed_run(module, compile_blocks=True)
-            stats_equal = stats_to_dict(ref.stats) == stats_to_dict(new.stats)
-            output_equal = ref.printed == new.printed
+            ref_s, ref = timed_run(module, "reference")
+            new_s, new = timed_run(module, "compiled")
+            jit_s, jit = timed_run(module, "jit")
+            ref_stats = stats_to_dict(ref.stats)
+            stats_equal = stats_to_dict(new.stats) == ref_stats \
+                and stats_to_dict(jit.stats) == ref_stats
+            output_equal = ref.printed == new.printed == jit.printed
             if not (stats_equal and output_equal):
                 mismatches += 1
             total_ops = new.stats.total_ops
@@ -80,17 +92,25 @@ def main() -> int:
                 "baseline_wall_s": round(ref_s, 4),
                 "baseline_ops_per_s": round(total_ops / max(ref_s, 1e-9)),
                 "speedup": round(ref_s / max(new_s, 1e-9), 2),
+                "jit_wall_s": round(jit_s, 4),
+                "jit_ops_per_s": round(total_ops / max(jit_s, 1e-9)),
+                "jit_speedup": round(ref_s / max(jit_s, 1e-9), 2),
+                "jit_vs_compiled": round(new_s / max(jit_s, 1e-9), 2),
                 "stats_equal": stats_equal,
                 "output_equal": output_equal,
             })
             print(f"{name:10s} {flow:9s} {total_ops:>9} ops  "
                   f"ref {ref_s:6.3f}s  cached {new_s:6.3f}s  "
-                  f"{runs[-1]['speedup']:5.2f}x  "
+                  f"jit {jit_s:6.3f}s  "
+                  f"cached {runs[-1]['speedup']:5.2f}x  "
+                  f"jit {runs[-1]['jit_speedup']:5.2f}x  "
+                  f"jit/cached {runs[-1]['jit_vs_compiled']:5.2f}x  "
                   f"{'OK' if stats_equal and output_equal else 'MISMATCH'}")
 
     best = max(r["speedup"] for r in runs)
     total_ref = sum(r["baseline_wall_s"] for r in runs)
     total_new = sum(r["wall_s"] for r in runs)
+    total_jit = sum(r["jit_wall_s"] for r in runs)
     report = {
         "benchmark": "interpreter_bench",
         "quick": quick,
@@ -99,8 +119,12 @@ def main() -> int:
         "runs": runs,
         "total_wall_s": round(total_new, 4),
         "total_baseline_wall_s": round(total_ref, 4),
+        "total_jit_wall_s": round(total_jit, 4),
         "overall_speedup": round(total_ref / max(total_new, 1e-9), 2),
         "best_speedup": best,
+        "jit_overall_speedup": round(total_ref / max(total_jit, 1e-9), 2),
+        "jit_vs_compiled_overall": round(total_new / max(total_jit, 1e-9), 2),
+        "best_jit_vs_compiled": max(r["jit_vs_compiled"] for r in runs),
     }
     with open(output, "w", encoding="utf-8") as fh:
         json.dump(report, fh, indent=2)
@@ -115,8 +139,15 @@ def main() -> int:
         print("FAIL: cached-dispatch engine not faster than the reference",
               file=sys.stderr)
         return 1
+    if check_floor and report["overall_speedup"] < COMPILED_SPEEDUP_FLOOR:
+        print(f"FAIL: compiled-engine speedup {report['overall_speedup']}x "
+              f"regressed below the {COMPILED_SPEEDUP_FLOOR}x floor",
+              file=sys.stderr)
+        return 1
     print(f"OK: cached dispatch {report['overall_speedup']}x overall, "
-          f"best {best}x, engines bit-identical")
+          f"jit {report['jit_overall_speedup']}x overall "
+          f"({report['jit_vs_compiled_overall']}x over cached dispatch, "
+          f"best {report['best_jit_vs_compiled']}x), engines bit-identical")
     return 0
 
 

@@ -74,24 +74,30 @@ class CompilerAdapter:
     flow = "ours"
 
     def __init__(self, perf_model: Optional[PerformanceModel] = None, *,
-                 flow: Optional[str] = None, **options):
+                 flow: Optional[str] = None, engine: str = "compiled",
+                 **options):
         self.perf = perf_model or PerformanceModel()
         if flow is not None:
             self.flow = flow
+        self.engine = engine
         self.options = options
 
     # -- flow dispatch ---------------------------------------------------------------
     def execute(self, workload: Workload, threads: int = 1, gpu: bool = False,
+                engine: Optional[str] = None,
                 **_) -> Tuple[ExecutionStats, Tuple[str, ...]]:
         return _run_through_service(
             CompileJob(self.flow, workload.name, options=self.options,
-                       threads=threads, gpu=gpu, workload=workload))
+                       threads=threads, gpu=gpu,
+                       engine=engine or self.engine, workload=workload))
 
     # -- shared measurement logic -----------------------------------------------------
     def measure(self, workload: Workload, *, threads: int = 1, gpu: bool = False,
+                engine: Optional[str] = None,
                 size_overrides: Optional[Dict[str, int]] = None) -> Measurement:
         try:
-            stats, output = self.execute(workload, threads=threads, gpu=gpu)
+            stats, output = self.execute(workload, threads=threads, gpu=gpu,
+                                         engine=engine)
         except Exception as exc:  # compilation/execution failure -> DNC entry
             return Measurement(self.column, workload.name, float("nan"),
                                RuntimeBreakdown(), ExecutionStats(),
@@ -105,8 +111,9 @@ class CompilerAdapter:
         return Measurement(self.column, workload.name, breakdown.total_s,
                            breakdown, stats, output)
 
-    def instruction_mix(self, workload: Workload):
-        stats, _ = self.execute(workload)
+    def instruction_mix(self, workload: Workload,
+                        engine: Optional[str] = None):
+        stats, _ = self.execute(workload, engine=engine)
         return profile_stats(stats, workload.work_ratio())
 
 

@@ -27,7 +27,23 @@ from typing import List, Optional
 
 from . import (FlowConfig, KernelReport, check_seed, default_configs,
                generate, run_sweep)
+from ..flows import ENGINES
 from .reduce import reduce_report
+
+
+def _parse_engines(spec: Optional[str]) -> Optional[List[str]]:
+    """``--engines compiled,jit`` selects interpreter engines (default all)."""
+    if not spec:
+        return None
+    wanted = [name.strip() for name in spec.split(",") if name.strip()]
+    if not wanted:
+        raise SystemExit(f"--engines selected no engines "
+                         f"(known: {', '.join(ENGINES)})")
+    unknown = [name for name in wanted if name not in ENGINES]
+    if unknown:
+        raise SystemExit(f"unknown engine(s) {', '.join(unknown)} "
+                         f"(known: {', '.join(ENGINES)})")
+    return wanted
 
 
 def _parse_flows(spec: Optional[str]) -> Optional[List[FlowConfig]]:
@@ -72,6 +88,7 @@ def _print_report(report: KernelReport) -> None:
 
 def _cmd_run(args: argparse.Namespace) -> int:
     configs = _parse_flows(args.flows)
+    engines = _parse_engines(args.engines)
     seeds = range(args.start, args.start + args.seeds)
 
     def progress(seed: int, report: KernelReport) -> None:
@@ -81,7 +98,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         elif args.verbose:
             print(f"seed {seed}: ok")
 
-    report = run_sweep(seeds, configs, max_workers=args.jobs,
+    report = run_sweep(seeds, configs, engines=engines, max_workers=args.jobs,
                        progress=progress)
     print(report.summary())
     print(f"service counters: {report.service_counters}")
@@ -104,12 +121,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 def _cmd_repro(args: argparse.Namespace) -> int:
     configs = _parse_flows(args.flows)
-    report = check_seed(args.seed, configs)
+    report = check_seed(args.seed, configs, engines=_parse_engines(args.engines))
     kernel = generate(args.seed)
     print(f"seed {args.seed}: features: {', '.join(kernel.features)}")
     if report.ok:
         print("no divergence — kernel is conformant on every registered "
-              "flow and both engines")
+              "flow and every engine")
         return 0
     _print_report(report)
     reduced = None
@@ -147,6 +164,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     run_p.add_argument("--flows", help="comma-separated flow config labels "
                                        "(default: every registered flow + "
                                        "the no-opt baseline)")
+    run_p.add_argument("--engines",
+                       help="comma-separated interpreter engines to "
+                            f"cross-check (default: {','.join(ENGINES)})")
     run_p.add_argument("--out", default="conformance-repros",
                        help="directory for divergence repro files")
     run_p.add_argument("--no-reduce", action="store_true",
@@ -158,6 +178,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     repro_p = sub.add_parser("repro", help="re-check and shrink one seed")
     repro_p.add_argument("--seed", type=int, required=True)
     repro_p.add_argument("--flows")
+    repro_p.add_argument("--engines")
     repro_p.add_argument("--out", help="also write the repro file here")
     repro_p.add_argument("--no-reduce", action="store_true")
     repro_p.set_defaults(func=_cmd_repro)

@@ -1,12 +1,12 @@
 """Differential conformance oracle.
 
 Compiles a kernel through **every registered flow** (plus a no-opt baseline
-of the paper's flow), executes each compiled module on **both interpreter
-engines** (cached-dispatch and the one-op reference), and flags any
-divergence in the declared observables:
+of the paper's flow), executes each compiled module on **every interpreter
+engine** (cached-dispatch, the one-op reference, and the trace-compiling
+jit), and flags any divergence in the declared observables:
 
-* between the two engines of one flow, printed output and
-  :class:`~repro.machine.ExecutionStats` must match **bit for bit** — both
+* between the engines of one flow, printed output and
+  :class:`~repro.machine.ExecutionStats` must match **bit for bit** — all
   engines execute the very same module;
 * across flows, printed output must match **numerically**: integer and
   logical tokens exactly, real tokens to a tight tolerance (flows may
@@ -130,6 +130,7 @@ class SweepReport:
 
     seeds: List[int] = field(default_factory=list)
     configs: List[str] = field(default_factory=list)
+    engines: List[str] = field(default_factory=lambda: list(ENGINES))
     divergent: List[KernelReport] = field(default_factory=list)
     duration: float = 0.0
     service_counters: Dict[str, int] = field(default_factory=dict)
@@ -141,7 +142,8 @@ class SweepReport:
     def summary(self) -> str:
         status = "OK" if self.ok else f"{len(self.divergent)} divergent seed(s)"
         return (f"conformance sweep: {len(self.seeds)} seed(s) x "
-                f"{len(self.configs)} flow config(s) x {len(ENGINES)} engines "
+                f"{len(self.configs)} flow config(s) x "
+                f"{len(self.engines)} engine(s) "
                 f"in {self.duration:.1f}s -> {status}")
 
 
@@ -213,35 +215,42 @@ def _stats_difference(a: Optional[Dict], b: Optional[Dict]) -> Optional[str]:
 
 def compare_observations(observations: Dict[Tuple[str, str], Observation],
                          configs: Sequence[FlowConfig], *,
+                         engines: Sequence[str] = ENGINES,
                          seed: Optional[int] = None) -> List[Divergence]:
     divergences: List[Divergence] = []
+    baseline_engine = engines[0]
 
-    # 1. engine parity within each flow config: bit-exact observables
+    # 1. engine parity within each flow config: every other engine must be
+    #    bit-exact against the baseline engine (output and statistics)
     for config in configs:
-        compiled = observations[(config.label, "compiled")]
-        reference = observations[(config.label, "reference")]
-        if compiled.ok != reference.ok:
-            broken = compiled if not compiled.ok else reference
-            divergences.append(Divergence(
-                kind="engine-error", left=compiled.label, right=reference.label,
-                detail=f"only {broken.label} failed: {broken.error}", seed=seed))
-            continue
-        if not compiled.ok:
-            continue  # both failed: reported by the cross-flow pass below
-        if compiled.printed != reference.printed:
-            detail = printed_difference(compiled.printed, reference.printed,
-                                        rtol=0.0, atol=0.0) or "output differs"
-            divergences.append(Divergence(
-                kind="engine-output", left=compiled.label,
-                right=reference.label, detail=detail, seed=seed))
-        stats_detail = _stats_difference(compiled.stats, reference.stats)
-        if stats_detail is not None:
-            divergences.append(Divergence(
-                kind="engine-stats", left=compiled.label,
-                right=reference.label, detail=stats_detail, seed=seed))
+        compiled = observations[(config.label, baseline_engine)]
+        for engine in engines[1:]:
+            other = observations[(config.label, engine)]
+            if compiled.ok != other.ok:
+                broken = compiled if not compiled.ok else other
+                divergences.append(Divergence(
+                    kind="engine-error", left=compiled.label,
+                    right=other.label,
+                    detail=f"only {broken.label} failed: {broken.error}",
+                    seed=seed))
+                continue
+            if not compiled.ok:
+                continue  # all failed: reported by the cross-flow pass below
+            if compiled.printed != other.printed:
+                detail = printed_difference(compiled.printed, other.printed,
+                                            rtol=0.0, atol=0.0) \
+                    or "output differs"
+                divergences.append(Divergence(
+                    kind="engine-output", left=compiled.label,
+                    right=other.label, detail=detail, seed=seed))
+            stats_detail = _stats_difference(compiled.stats, other.stats)
+            if stats_detail is not None:
+                divergences.append(Divergence(
+                    kind="engine-stats", left=compiled.label,
+                    right=other.label, detail=stats_detail, seed=seed))
 
-    # 2. cross-flow output parity on the compiled engine
-    compiled_obs = [observations[(config.label, "compiled")]
+    # 2. cross-flow output parity on the baseline engine
+    compiled_obs = [observations[(config.label, baseline_engine)]
                     for config in configs]
     ok_obs = [o for o in compiled_obs if o.ok]
     if not ok_obs:
@@ -281,9 +290,9 @@ def _adhoc_workload(source: str) -> Workload:
                     work_model=lambda p: 1.0)
 
 
-def _observe_in_process(source: str, config: FlowConfig,
-                        max_ops: int) -> List[Observation]:
-    """Compile once, interpret the same module on both engines."""
+def _observe_in_process(source: str, config: FlowConfig, max_ops: int,
+                        engines: Sequence[str] = ENGINES) -> List[Observation]:
+    """Compile once, interpret the same module on every engine."""
     workload = _adhoc_workload(source)
     out: List[Observation] = []
     with np.errstate(all="ignore"):
@@ -297,11 +306,11 @@ def _observe_in_process(source: str, config: FlowConfig,
         except Exception as exc:
             message = f"{type(exc).__name__}: {exc}"
             return [Observation(config=config.label, engine=engine, ok=False,
-                                error=message) for engine in ENGINES]
-        for engine in ENGINES:
+                                error=message) for engine in engines]
+        for engine in engines:
             try:
                 interpreter = Interpreter(module, max_ops=max_ops,
-                                          compile_blocks=engine != "reference")
+                                          engine=engine)
                 interpreter.run_main()
                 out.append(Observation(
                     config=config.label, engine=engine, ok=True,
@@ -316,22 +325,26 @@ def _observe_in_process(source: str, config: FlowConfig,
 
 def check_kernel(source: str, configs: Optional[Sequence[FlowConfig]] = None,
                  *, seed: Optional[int] = None,
+                 engines: Optional[Sequence[str]] = None,
                  max_ops: int = 20_000_000) -> KernelReport:
     """Differentially check one kernel, fully in-process."""
     configs = list(configs) if configs is not None else default_configs()
+    engines = list(engines) if engines is not None else list(ENGINES)
     report = KernelReport(source=source, seed=seed)
     for config in configs:
-        for observation in _observe_in_process(source, config, max_ops):
+        for observation in _observe_in_process(source, config, max_ops,
+                                               engines):
             report.observations[(config.label, observation.engine)] = observation
     report.divergences = compare_observations(report.observations, configs,
-                                              seed=seed)
+                                              engines=engines, seed=seed)
     return report
 
 
-def check_seed(seed: int,
-               configs: Optional[Sequence[FlowConfig]] = None) -> KernelReport:
+def check_seed(seed: int, configs: Optional[Sequence[FlowConfig]] = None,
+               engines: Optional[Sequence[str]] = None) -> KernelReport:
     """Generate the kernel for ``seed`` and differentially check it."""
-    return check_kernel(generate(seed).source, configs, seed=seed)
+    return check_kernel(generate(seed).source, configs, seed=seed,
+                        engines=engines)
 
 
 # ---------------------------------------------------------------------------
@@ -339,11 +352,11 @@ def check_seed(seed: int,
 # ---------------------------------------------------------------------------
 
 
-def _seed_jobs(seed: int,
-               configs: Sequence[FlowConfig]) -> Dict[Tuple[str, str], CompileJob]:
+def _seed_jobs(seed: int, configs: Sequence[FlowConfig],
+               engines: Sequence[str]) -> Dict[Tuple[str, str], CompileJob]:
     jobs: Dict[Tuple[str, str], CompileJob] = {}
     for config in configs:
-        for engine in ENGINES:
+        for engine in engines:
             jobs[(config.label, engine)] = CompileJob(
                 flow=config.flow, workload_name=f"conformance/{seed}",
                 options=config.options_dict(), engine=engine)
@@ -352,6 +365,7 @@ def _seed_jobs(seed: int,
 
 def run_sweep(seeds: Iterable[int],
               configs: Optional[Sequence[FlowConfig]] = None, *,
+              engines: Optional[Sequence[str]] = None,
               service: Optional[CompileService] = None,
               max_workers: int = 1,
               progress=None) -> SweepReport:
@@ -364,21 +378,23 @@ def run_sweep(seeds: Iterable[int],
     """
     seeds = list(seeds)
     configs = list(configs) if configs is not None else default_configs()
+    engines = list(engines) if engines is not None else list(ENGINES)
     if service is None:
         service = CompileService(max_workers=max_workers)
-    report = SweepReport(seeds=seeds, configs=[c.label for c in configs])
+    report = SweepReport(seeds=seeds, configs=[c.label for c in configs],
+                         engines=engines)
     started = time.perf_counter()
 
     # Chunked submission: each chunk's artifacts are collected right after
     # its batch, so the service's memory LRU is never evicted between the
     # pool run and the comparison, and progress is incremental.
-    jobs_per_seed = max(1, len(configs) * len(ENGINES))
+    jobs_per_seed = max(1, len(configs) * len(engines))
     chunk_size = max(1, 384 // jobs_per_seed)
     with np.errstate(all="ignore"):
         for offset in range(0, len(seeds), chunk_size):
             chunk = seeds[offset:offset + chunk_size]
             chunk_jobs: Dict[int, Dict[Tuple[str, str], CompileJob]] = {
-                seed: _seed_jobs(seed, configs) for seed in chunk}
+                seed: _seed_jobs(seed, configs, engines) for seed in chunk}
             service.submit([job for per_seed in chunk_jobs.values()
                             for job in per_seed.values()],
                            max_workers=max_workers)
@@ -393,7 +409,8 @@ def run_sweep(seeds: Iterable[int],
                         if artifact.stats is not None else None,
                         error=artifact.error)
                 kernel_report.divergences = compare_observations(
-                    kernel_report.observations, configs, seed=seed)
+                    kernel_report.observations, configs, engines=engines,
+                    seed=seed)
                 if not kernel_report.ok:
                     kernel_report.source = generate(seed).source
                     report.divergent.append(kernel_report)

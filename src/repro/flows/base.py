@@ -141,9 +141,15 @@ class OptionsSchema:
 
 #: Interpreter engines an artifact can be executed on.  ``compiled`` is the
 #: cached-dispatch engine (per-block thunks); ``reference`` is the one-op
-#: reference engine.  Both must be observationally identical — the
-#: conformance oracle runs every kernel on both and diffs the observables.
-ENGINES = ("compiled", "reference")
+#: reference engine; ``jit`` translates blocks into generated Python source
+#: (:mod:`repro.machine.jit`).  All of them must be observationally
+#: identical — the conformance oracle runs every kernel on every engine and
+#: diffs the observables bit for bit.  The order matters: the first entry is
+#: the oracle's parity baseline.  Must stay in sync with
+#: ``repro.machine.interpreter.ENGINE_NAMES`` (a module-level import either
+#: way is a cycle through the flang driver; ``tests/flows`` asserts the
+#: sync instead).
+ENGINES = ("compiled", "reference", "jit")
 
 
 @dataclass(frozen=True)
@@ -171,7 +177,8 @@ class ExecutionContext:
 
     @property
     def compile_blocks(self) -> bool:
-        """Interpreter ``compile_blocks`` flag for this engine."""
+        """Interpreter ``compile_blocks`` flag for this engine (legacy —
+        prefer passing ``engine`` to the Interpreter directly)."""
         return self.engine != "reference"
 
     def key_material(self) -> Dict[str, Any]:

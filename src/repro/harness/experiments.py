@@ -60,12 +60,13 @@ class ExperimentTable:
 
 
 def table1(benchmarks: Optional[Sequence[str]] = None, *,
-           service: Optional[CompileService] = None) -> ExperimentTable:
+           service: Optional[CompileService] = None,
+           engine: str = "compiled") -> ExperimentTable:
     adapters = {
-        "flang-v20": FlangV20Adapter(),
-        "flang-v17": FlangV17Adapter(),
-        "cray": CrayAdapter(),
-        "gnu": GnuAdapter(),
+        "flang-v20": FlangV20Adapter(engine=engine),
+        "flang-v17": FlangV17Adapter(engine=engine),
+        "cray": CrayAdapter(engine=engine),
+        "gnu": GnuAdapter(engine=engine),
     }
     table = ExperimentTable("table1",
                             "Runtime of the benchmarks for Flang v20/v17, Cray and GNU",
@@ -92,12 +93,13 @@ def table1(benchmarks: Optional[Sequence[str]] = None, *,
 
 
 def table2(benchmarks: Optional[Sequence[str]] = None, *,
-           service: Optional[CompileService] = None) -> ExperimentTable:
+           service: Optional[CompileService] = None,
+           engine: str = "compiled") -> ExperimentTable:
     adapters = {
-        "our-approach": OurApproachAdapter(),
-        "flang-v20": FlangV20Adapter(),
-        "cray": CrayAdapter(),
-        "gnu": GnuAdapter(),
+        "our-approach": OurApproachAdapter(engine=engine),
+        "flang-v20": FlangV20Adapter(engine=engine),
+        "cray": CrayAdapter(engine=engine),
+        "gnu": GnuAdapter(engine=engine),
     }
     table = ExperimentTable("table2",
                             "Our approach against Flang v20, Cray and GNU",
@@ -119,16 +121,18 @@ def table2(benchmarks: Optional[Sequence[str]] = None, *,
 
 
 def table3(benchmarks: Optional[Sequence[str]] = None, *,
-           service: Optional[CompileService] = None) -> ExperimentTable:
+           service: Optional[CompileService] = None,
+           engine: str = "compiled") -> ExperimentTable:
     table = ExperimentTable(
         "table3", "Fortran intrinsics: linalg dialect (ours) vs runtime library (Flang)",
         ["ours-serial", "ours-threaded", "flang-v20"])
-    flang = FlangV20Adapter()
+    flang = FlangV20Adapter(engine=engine)
     with _service_scope(service):
         for workload in table3_workloads():
             if benchmarks is not None and workload.name not in benchmarks:
                 continue
-            ours = OurApproachAdapter(**table3_options(workload.name))
+            ours = OurApproachAdapter(engine=engine,
+                                      **table3_options(workload.name))
             measured = {
                 "ours-serial": ours.measure(workload).runtime_s,
                 "flang-v20": flang.measure(workload).runtime_s,
@@ -151,12 +155,13 @@ def table3(benchmarks: Optional[Sequence[str]] = None, *,
 
 
 def table4(core_counts: Sequence[int] = (2, 4, 8, 16, 32, 64), *,
-           service: Optional[CompileService] = None) -> ExperimentTable:
+           service: Optional[CompileService] = None,
+           engine: str = "compiled") -> ExperimentTable:
     table = ExperimentTable("table4",
                             "OpenMP speed-up over serial for jacobi and pw-advection",
                             ["ours-jacobi", "ours-pw", "flang-jacobi", "flang-pw"])
-    ours = OurApproachAdapter()
-    flang = FlangV20Adapter()
+    ours = OurApproachAdapter(engine=engine)
+    flang = FlangV20Adapter(engine=engine)
     workloads = {"jacobi": jacobi(openmp=True),
                  "pw": pw_advection(openmp=True)}
     with _service_scope(service):
@@ -186,12 +191,13 @@ def table4(core_counts: Sequence[int] = (2, 4, 8, 16, 32, 64), *,
 
 
 def table5(grid_sizes: Sequence[int] = TABLE5_GRID_SIZES, *,
-           service: Optional[CompileService] = None) -> ExperimentTable:
+           service: Optional[CompileService] = None,
+           engine: str = "compiled") -> ExperimentTable:
     table = ExperimentTable("table5",
                             "pw-advection with OpenACC on a V100: ours vs nvfortran",
                             ["our-approach", "nvfortran"])
-    ours = OurApproachAdapter()
-    nvf = NvfortranAdapter()
+    ours = OurApproachAdapter(engine=engine)
+    nvf = NvfortranAdapter(engine=engine)
     with _service_scope(service):
         for cells in grid_sizes:
             workload = pw_advection(openacc=True, grid_cells=cells)
@@ -210,16 +216,17 @@ def table5(grid_sizes: Sequence[int] = TABLE5_GRID_SIZES, *,
 
 
 def figure3_vectorization(benchmark: str = "dotproduct", *,
-                          service: Optional[CompileService] = None) -> ExperimentTable:
+                          service: Optional[CompileService] = None,
+                          engine: str = "compiled") -> ExperimentTable:
     """Runtime of a kernel with and without the affine vectorisation pipeline
     of Figure 3 (and, for matmul, with/without affine tiling)."""
     workload = get_workload(benchmark)
     table = ExperimentTable("figure3",
                             "Effect of the affine vectorisation/tiling pipeline",
                             ["scalar", "vectorised", "tiled+vectorised"])
-    scalar = OurApproachAdapter(vector_width=0)
-    vectorised = OurApproachAdapter(vector_width=4)
-    tiled = OurApproachAdapter(vector_width=4, tile=True)
+    scalar = OurApproachAdapter(engine=engine, vector_width=0)
+    vectorised = OurApproachAdapter(engine=engine, vector_width=4)
+    tiled = OurApproachAdapter(engine=engine, vector_width=4, tile=True)
     with _service_scope(service):
         measured = {
             "scalar": scalar.measure(workload).runtime_s,
@@ -236,11 +243,12 @@ def figure3_vectorization(benchmark: str = "dotproduct", *,
 
 
 def section4_profile(benchmark: str = "tfft", *,
-                     service: Optional[CompileService] = None) -> Dict[str, Dict[str, float]]:
+                     service: Optional[CompileService] = None,
+                     engine: str = "compiled") -> Dict[str, Dict[str, float]]:
     """Instruction-mix profile of a benchmark under both flows (Section IV)."""
     workload = get_workload(benchmark)
-    flang = FlangV20Adapter()
-    ours = OurApproachAdapter()
+    flang = FlangV20Adapter(engine=engine)
+    ours = OurApproachAdapter(engine=engine)
     with _service_scope(service):
         return {
             "flang-v20": flang.instruction_mix(workload).as_dict(),

@@ -6,24 +6,27 @@ convert those counts into modeled runtimes (see DESIGN.md for the
 substitution rationale).
 """
 
-from .interpreter import (ExecutionLimitExceeded, ExecutionStats, Interpreter,
-                          InterpreterError, run_module)
+from .interpreter import (ENGINE_NAMES, ExecutionLimitExceeded,
+                          ExecutionStats, Interpreter, InterpreterError,
+                          run_module)
 from .models import (ARCHER2, CIRRUS_V100, CRAY_PROFILE, FLANG_V17_PROFILE,
                      FLANG_V20_PROFILE, GNU_PROFILE, NVFORTRAN_PROFILE,
                      OURS_PROFILE, CompilerProfile, CPUModel, GPUModel)
-from .perf import PerformanceModel, RuntimeBreakdown, WorkloadScaling
-from .profiler import InstructionMix, profile_stats
+from .perf import (PerformanceModel, RuntimeBreakdown, WorkloadScaling,
+                   modeled_runtime)
+from .profiler import InstructionMix, profile_module, profile_stats
 from .semantics import int_ceildiv, int_div, int_floordiv, int_rem
 from .values import (Cell, ElementPtr, FortranArray, as_ndarray, load_element,
                      store_element)
 
 __all__ = [
-    "ExecutionLimitExceeded", "ExecutionStats", "Interpreter",
+    "ENGINE_NAMES", "ExecutionLimitExceeded", "ExecutionStats", "Interpreter",
     "InterpreterError", "run_module", "ARCHER2", "CIRRUS_V100", "CRAY_PROFILE",
     "FLANG_V17_PROFILE", "FLANG_V20_PROFILE", "GNU_PROFILE",
     "NVFORTRAN_PROFILE", "OURS_PROFILE", "CompilerProfile", "CPUModel",
     "GPUModel", "PerformanceModel", "RuntimeBreakdown", "WorkloadScaling",
-    "InstructionMix", "profile_stats", "Cell", "ElementPtr", "FortranArray",
+    "InstructionMix", "modeled_runtime", "profile_module", "profile_stats",
+    "Cell", "ElementPtr", "FortranArray",
     "as_ndarray", "load_element", "store_element", "int_div", "int_rem",
     "int_floordiv", "int_ceildiv",
 ]

@@ -14,11 +14,16 @@ Statistics are kept per execution context: ``serial``, ``parallel`` (inside
 omp/scf.parallel regions) and ``gpu`` (inside gpu.launch kernels), which the
 threading and GPU models use.
 
-Execution engine
-----------------
+Execution engines
+-----------------
+
+Three engines execute the same IR with bit-identical observables
+(``engine="reference" | "compiled" | "jit"``).  ``compiled`` — the default
+cached-dispatch engine — is described below; ``jit`` goes further and
+translates blocks into generated Python source (:mod:`repro.machine.jit`).
 
 Interpreting a table regeneration executes tens of millions of operations,
-so the inner loop avoids all per-operation dispatch work:
+so the cached-dispatch inner loop avoids all per-operation dispatch work:
 
 * handler resolution is cached at class level (op name -> handler, resolved
   once per name instead of a ``getattr`` with string building per executed
@@ -36,7 +41,7 @@ so the inner loop avoids all per-operation dispatch work:
   (kept in sync with the context stack) with fused total-ops accounting.
 
 The original one-op-at-a-time engine is kept as a reference implementation
-(``Interpreter(..., compile_blocks=False)``); both engines produce
+(``Interpreter(..., engine="reference")``); all engines produce
 bit-identical results and statistics, which ``tests/machine`` asserts and
 ``benchmarks/interpreter_bench.py`` uses as the speedup baseline.
 """
@@ -180,6 +185,14 @@ _YIELD_OPS = frozenset({
     "scf.condition", "hlfir.yield_element", "fir.has_value"})
 
 
+#: The three interpreter engines.  ``reference`` executes one op at a time
+#: (string-built getattr dispatch), ``compiled`` caches per-block thunk
+#: lists, ``jit`` translates blocks (and structured loop bodies) into
+#: generated Python source (see :mod:`repro.machine.jit`).  All three are
+#: observationally bit-identical — output and statistics.
+ENGINE_NAMES = ("compiled", "reference", "jit")
+
+
 class Interpreter:
     """Executes a module and records dynamic operation statistics."""
 
@@ -187,7 +200,14 @@ class Interpreter:
     _HANDLER_CACHE: Dict[str, Optional[Callable]] = {}
 
     def __init__(self, module: Operation, *, max_ops: int = 80_000_000,
-                 trace_output: bool = False, compile_blocks: bool = True):
+                 trace_output: bool = False, compile_blocks: bool = True,
+                 engine: Optional[str] = None):
+        if engine is None:
+            engine = "compiled" if compile_blocks else "reference"
+        if engine not in ENGINE_NAMES:
+            raise InterpreterError(
+                f"unknown interpreter engine {engine!r} "
+                f"(known: {', '.join(ENGINE_NAMES)})")
         self.module = module
         self.stats = ExecutionStats()
         self.max_ops = max_ops
@@ -196,7 +216,8 @@ class Interpreter:
         self.context_stack: List[str] = ["serial"]
         self.printed: List[str] = []
         self.trace_output = trace_output
-        self.compile_blocks = compile_blocks
+        self.engine = engine
+        self.compile_blocks = engine != "reference"
         #: per-context Counter for the current context (hot-path bump target)
         self._ctx_counts: Counter = self.stats.counts["serial"]
         #: compiled thunk lists, one per visited Block
@@ -204,7 +225,11 @@ class Interpreter:
         # limit checking is batched: every _check_stride executed ops
         self._check_stride = max(1, min(4096, max_ops // 16))
         self._budget = self._check_stride
-        if compile_blocks:
+        if engine == "jit":
+            from .jit import JitEngine
+            self._jit = JitEngine(self)
+            self._run_block = self._jit.run_block
+        elif engine == "compiled":
             self._run_block = self._run_block_compiled
         else:
             self._run_block = self._run_block_simple
@@ -1891,9 +1916,10 @@ def _fusable(op: Operation, follower: Optional[Operation]) -> bool:
 
 
 def run_module(module: Operation, *, entry: Optional[str] = None,
-               args: Sequence = (), max_ops: int = 80_000_000) -> Tuple[List, ExecutionStats]:
+               args: Sequence = (), max_ops: int = 80_000_000,
+               engine: Optional[str] = None) -> Tuple[List, ExecutionStats]:
     """Execute a module (its main program by default); returns (results, stats)."""
-    interp = Interpreter(module, max_ops=max_ops)
+    interp = Interpreter(module, max_ops=max_ops, engine=engine)
     if entry is None:
         results = interp.run_main()
     else:
@@ -1901,5 +1927,5 @@ def run_module(module: Operation, *, entry: Optional[str] = None,
     return results, interp.stats
 
 
-__all__ = ["Interpreter", "ExecutionStats", "InterpreterError",
+__all__ = ["ENGINE_NAMES", "Interpreter", "ExecutionStats", "InterpreterError",
            "ExecutionLimitExceeded", "run_module"]

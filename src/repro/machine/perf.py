@@ -207,4 +207,28 @@ class PerformanceModel:
                                 "memory" if memory_s > compute_s else "compute")
 
 
-__all__ = ["PerformanceModel", "RuntimeBreakdown", "WorkloadScaling"]
+def modeled_runtime(module, scaling: WorkloadScaling, *,
+                    model: Optional[PerformanceModel] = None,
+                    profile: CompilerProfile = OURS_PROFILE,
+                    threads: int = 1, gpu: bool = False,
+                    engine: str = "compiled",
+                    max_ops: int = 80_000_000) -> RuntimeBreakdown:
+    """Execute ``module`` on the requested engine and model its runtime.
+
+    One-stop convenience for callers outside the service path: the engine
+    (compiled / reference / jit) is an argument rather than being hardcoded
+    to the cached-dispatch engine.
+    """
+    from .interpreter import Interpreter
+
+    interpreter = Interpreter(module, max_ops=max_ops, engine=engine)
+    interpreter.run_main()
+    model = model or PerformanceModel()
+    if gpu:
+        return model.gpu_runtime(interpreter.stats, scaling, profile)
+    return model.cpu_runtime(interpreter.stats, scaling, profile,
+                             threads=threads)
+
+
+__all__ = ["PerformanceModel", "RuntimeBreakdown", "WorkloadScaling",
+           "modeled_runtime"]

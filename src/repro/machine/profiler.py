@@ -35,6 +35,24 @@ class InstructionMix:
         }
 
 
+def profile_module(module, *, work_ratio: float = 1.0,
+                   engine: str = "compiled",
+                   max_ops: int = 80_000_000) -> InstructionMix:
+    """Execute ``module`` on the requested interpreter engine and profile it.
+
+    The engine is a parameter (compiled / reference / jit) instead of being
+    hardcoded to the cached-dispatch engine; all engines produce
+    bit-identical statistics, so the mix is engine-independent — this hook
+    exists so harness callers can route profiling through whichever engine
+    they are already measuring with.
+    """
+    from .interpreter import Interpreter
+
+    interpreter = Interpreter(module, max_ops=max_ops, engine=engine)
+    interpreter.run_main()
+    return profile_stats(interpreter.stats, work_ratio)
+
+
 def profile_stats(stats: ExecutionStats, work_ratio: float = 1.0) -> InstructionMix:
     """Summarise an execution into a Section-IV style instruction mix."""
     # one pass over the per-context counters instead of one per category
@@ -69,4 +87,4 @@ def profile_stats(stats: ExecutionStats, work_ratio: float = 1.0) -> Instruction
     )
 
 
-__all__ = ["InstructionMix", "profile_stats"]
+__all__ = ["InstructionMix", "profile_module", "profile_stats"]

@@ -23,7 +23,8 @@ from typing import Any, Dict, List, Optional, Sequence
 # register every pass before pipelines are parsed
 import repro.core  # noqa: F401
 import repro.transforms  # noqa: F401
-from ..flows import (ExecutionContext, FlowError, available_flows, get_flow)
+from ..flows import (ENGINES, ExecutionContext, FlowError, available_flows,
+                     get_flow)
 from ..ir.pass_manager import (IRDumpInstrumentation, PassManager,
                                available_passes)
 from ..ir.pass_manager import _parse_scalar
@@ -81,6 +82,10 @@ def build_parser() -> argparse.ArgumentParser:
                            "parallelisation from this)")
     what.add_argument("--gpu", action="store_true",
                       help="execution context: target the GPU lowering")
+    what.add_argument("--engine", choices=ENGINES, default="compiled",
+                      help="execution context: interpreter engine the "
+                           "artifact is built for (affects the service "
+                           "cache key; default: compiled)")
 
     out = parser.add_argument_group("output")
     out.add_argument("-o", "--output", metavar="FILE",
@@ -201,7 +206,8 @@ def _run_flow(args, source) -> int:
     except FlowError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    execution = ExecutionContext(threads=args.threads, gpu=args.gpu)
+    execution = ExecutionContext(threads=args.threads, gpu=args.gpu,
+                                 engine=args.engine)
     result = flow.run(source, coerced, execution,
                       verify_each=args.verify_each,
                       instrumentation=_instrumentation(args))
@@ -277,11 +283,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print("error: --flow and --pipeline are mutually exclusive",
               file=sys.stderr)
         return 2
-    if args.pipeline and (args.option or args.threads != 1 or args.gpu):
+    if args.pipeline and (args.option or args.threads != 1 or args.gpu
+                          or args.engine != "compiled"):
         # a raw pipeline has no options schema and no execution context to
         # normalise against — refuse rather than silently drop the flags
-        print("error: --option/--threads/--gpu only apply to --flow runs, "
-              "not --pipeline", file=sys.stderr)
+        print("error: --option/--threads/--gpu/--engine only apply to --flow "
+              "runs, not --pipeline", file=sys.stderr)
         return 2
 
     try:

@@ -23,6 +23,11 @@ from .scheduler import CompileService
 from .tables import ALL_TABLES, run_tables
 
 
+def _engines():
+    from ..flows import ENGINES
+    return ENGINES
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.service",
@@ -39,6 +44,9 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="restrict table1/2/3 rows to these benchmarks")
     run.add_argument("--jobs", type=int, default=1, metavar="N",
                      help="parallel compile workers for cache misses")
+    run.add_argument("--engine", default="compiled", choices=_engines(),
+                     help="interpreter engine the measurements execute on "
+                          "(default: compiled)")
     run.add_argument("--cache-dir", default=None, metavar="DIR",
                      help="persistent artifact cache directory "
                           "(default: in-memory only, or $REPRO_CACHE_DIR)")
@@ -65,7 +73,8 @@ def _cmd_run_tables(args: argparse.Namespace) -> int:
     service = CompileService(ArtifactCache(cache_dir=cache_dir),
                              max_workers=args.jobs)
     result = run_tables(tables=args.tables, service=service,
-                        max_workers=args.jobs, benchmarks=args.benchmarks)
+                        max_workers=args.jobs, benchmarks=args.benchmarks,
+                        engine=args.engine)
 
     if not args.quiet:
         for name, table in result["tables"].items():

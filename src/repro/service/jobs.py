@@ -38,7 +38,10 @@ from .serialization import stats_from_dict, stats_to_dict
 #: v4: execution key material gained the interpreter ``engine``
 #: (compiled/reference) so differential conformance runs cache each engine's
 #: observables separately.
-KEY_SCHEMA_VERSION = 4
+#: v5: third interpreter engine ``jit`` (trace-compiling); worklist
+#: canonicalizer replaced the full-rewalk driver — artifacts now execute on
+#: three engines and pipeline outputs are produced by the new driver.
+KEY_SCHEMA_VERSION = 5
 
 
 class ServiceError(RuntimeError):
@@ -59,7 +62,7 @@ class CompileJob:
     threads: int = 1
     gpu: bool = False
     #: Interpreter engine the artifact's observables come from ("compiled"
-    #: cached-dispatch engine or the "reference" one-op engine).
+    #: cached-dispatch, "reference" one-op, or "jit" trace-compiling).
     engine: str = "compiled"
     #: Optional live workload; spares a registry lookup and lets callers run
     #: non-registry workloads in-process.  Never crosses a process boundary.
@@ -239,8 +242,7 @@ def _run_resolved_job(job: CompileJob, flow, workload,
                                     error=result.error)
         module = result.module
         module_text = print_op(module)
-        interpreter = Interpreter(
-            module, compile_blocks=job.execution().compile_blocks)
+        interpreter = Interpreter(module, engine=job.execution().engine)
         interpreter.run_main()
         return CompiledArtifact(key=key, flow=job.flow, workload=workload.name,
                                 ok=True, stats=interpreter.stats,

@@ -29,7 +29,8 @@ def _filtered(workloads, benchmarks: Optional[Sequence[str]]):
 
 
 def jobs_for(table: str,
-             benchmarks: Optional[Sequence[str]] = None) -> List[CompileJob]:
+             benchmarks: Optional[Sequence[str]] = None,
+             engine: str = "compiled") -> List[CompileJob]:
     """The compile jobs one table's measurements will request."""
     from ..workloads import (intrinsic_workloads, table1_workloads,
                              table2_workloads)
@@ -38,56 +39,68 @@ def jobs_for(table: str,
     if table == "table1":
         # one flang artifact per workload feeds all four reference columns
         for w in _filtered(table1_workloads(), benchmarks):
-            jobs.append(CompileJob("flang", w.name, workload=w))
+            jobs.append(CompileJob("flang", w.name, workload=w,
+                                   engine=engine))
     elif table == "table2":
         for w in _filtered(table2_workloads(), benchmarks):
-            jobs.append(CompileJob("ours", w.name, workload=w))
-            jobs.append(CompileJob("flang", w.name, workload=w))
+            jobs.append(CompileJob("ours", w.name, workload=w, engine=engine))
+            jobs.append(CompileJob("flang", w.name, workload=w,
+                                   engine=engine))
     elif table == "table3":
         for w in _filtered(intrinsic_workloads(), benchmarks):
             opts = table3_options(w.name)
-            jobs.append(CompileJob("ours", w.name, workload=w, options=opts))
-            jobs.append(CompileJob("flang", w.name, workload=w))
+            jobs.append(CompileJob("ours", w.name, workload=w, options=opts,
+                                   engine=engine))
+            jobs.append(CompileJob("flang", w.name, workload=w,
+                                   engine=engine))
             if w.name in TABLE3_THREADED:
                 jobs.append(CompileJob("ours", w.name, workload=w,
-                                       threads=TABLE3_THREADS, options=opts))
+                                       threads=TABLE3_THREADS, options=opts,
+                                       engine=engine))
     elif table == "table4":
         for name in ("jacobi", "pw-advection"):
             kwargs = (("openmp", True),)
             for flow in ("ours", "flang"):
-                jobs.append(CompileJob(flow, name, workload_kwargs=kwargs))
+                jobs.append(CompileJob(flow, name, workload_kwargs=kwargs,
+                                       engine=engine))
                 # all core counts share one parallel-bucket artifact
                 jobs.append(CompileJob(flow, name, workload_kwargs=kwargs,
-                                       threads=2))
+                                       threads=2, engine=engine))
     elif table == "table5":
         for cells in TABLE5_GRID_SIZES:
             kwargs = (("openacc", True), ("grid_cells", cells))
             # ours and the modeled nvfortran column share this artifact
             jobs.append(CompileJob("ours", "pw-advection",
-                                   workload_kwargs=kwargs, gpu=True))
+                                   workload_kwargs=kwargs, gpu=True,
+                                   engine=engine))
     elif table == "figure3":
         name = benchmarks[0] if benchmarks else "dotproduct"
-        jobs.append(CompileJob("ours", name, options={"vector_width": 0}))
-        jobs.append(CompileJob("ours", name, options={"vector_width": 4}))
+        jobs.append(CompileJob("ours", name, options={"vector_width": 0},
+                               engine=engine))
+        jobs.append(CompileJob("ours", name, options={"vector_width": 4},
+                               engine=engine))
         jobs.append(CompileJob("ours", name,
-                               options={"vector_width": 4, "tile": True}))
+                               options={"vector_width": 4, "tile": True},
+                               engine=engine))
     else:
         raise KeyError(f"unknown table {table!r} (choose from {ALL_TABLES})")
     return jobs
 
 
 def enumerate_jobs(tables: Optional[Sequence[str]] = None,
-                   benchmarks: Optional[Sequence[str]] = None) -> List[CompileJob]:
+                   benchmarks: Optional[Sequence[str]] = None,
+                   engine: str = "compiled") -> List[CompileJob]:
     jobs: List[CompileJob] = []
     for table in tables or ALL_TABLES:
-        jobs.extend(jobs_for(table, benchmarks))
+        jobs.extend(jobs_for(table, benchmarks, engine))
     return jobs
 
 
 def run_tables(tables: Optional[Sequence[str]] = None,
                service: Optional[CompileService] = None,
                max_workers: Optional[int] = None,
-               benchmarks: Optional[Sequence[str]] = None) -> Dict[str, Any]:
+               benchmarks: Optional[Sequence[str]] = None,
+               engine: str = "compiled") -> Dict[str, Any]:
     """Warm the cache in one parallel batch, then regenerate the tables.
 
     Returns ``{"tables": {name: ExperimentTable}, "batch": BatchReport,
@@ -100,18 +113,19 @@ def run_tables(tables: Optional[Sequence[str]] = None,
     service = service or get_default_service()
 
     t0 = time.perf_counter()
-    batch: BatchReport = service.submit(enumerate_jobs(tables, benchmarks),
-                                        max_workers=max_workers)
+    batch: BatchReport = service.submit(
+        enumerate_jobs(tables, benchmarks, engine), max_workers=max_workers)
     t_batch = time.perf_counter() - t0
 
     producers = {
-        "table1": lambda: experiments.table1(benchmarks),
-        "table2": lambda: experiments.table2(benchmarks),
-        "table3": lambda: experiments.table3(benchmarks),
-        "table4": lambda: experiments.table4(),
-        "table5": lambda: experiments.table5(TABLE5_GRID_SIZES),
+        "table1": lambda: experiments.table1(benchmarks, engine=engine),
+        "table2": lambda: experiments.table2(benchmarks, engine=engine),
+        "table3": lambda: experiments.table3(benchmarks, engine=engine),
+        "table4": lambda: experiments.table4(engine=engine),
+        "table5": lambda: experiments.table5(TABLE5_GRID_SIZES,
+                                             engine=engine),
         "figure3": lambda: experiments.figure3_vectorization(
-            benchmarks[0] if benchmarks else "dotproduct"),
+            benchmarks[0] if benchmarks else "dotproduct", engine=engine),
     }
     results: Dict[str, Any] = {}
     t1 = time.perf_counter()

@@ -43,11 +43,10 @@ class TestCompareObservations:
     CONFIGS = [FlowConfig(label="a", flow="a"), FlowConfig(label="b", flow="b")]
 
     def _base(self, overrides=None):
+        from repro.flows import ENGINES
         observations = {
-            ("a", "compiled"): _obs("a", "compiled"),
-            ("a", "reference"): _obs("a", "reference"),
-            ("b", "compiled"): _obs("b", "compiled"),
-            ("b", "reference"): _obs("b", "reference"),
+            (config, engine): _obs(config, engine)
+            for config in ("a", "b") for engine in ENGINES
         }
         observations.update(overrides or {})
         return observations
@@ -61,8 +60,10 @@ class TestCompareObservations:
             ("a", "reference"): _obs("a", "reference",
                                      printed=("1.000000000001",)),
             ("a", "compiled"): _obs("a", "compiled", printed=("1.0",)),
+            ("a", "jit"): _obs("a", "jit", printed=("1.0",)),
             ("b", "compiled"): _obs("b", "compiled", printed=("1.0",)),
             ("b", "reference"): _obs("b", "reference", printed=("1.0",)),
+            ("b", "jit"): _obs("b", "jit", printed=("1.0",)),
         })
         kinds = [d.kind for d in compare_observations(observations, self.CONFIGS)]
         assert kinds == ["engine-output"]
@@ -71,6 +72,7 @@ class TestCompareObservations:
         observations = self._base({
             ("b", "compiled"): _obs("b", "compiled", printed=("2",)),
             ("b", "reference"): _obs("b", "reference", printed=("2",)),
+            ("b", "jit"): _obs("b", "jit", printed=("2",)),
         })
         divergences = compare_observations(observations, self.CONFIGS)
         assert [d.kind for d in divergences] == ["flow-output"]
@@ -87,6 +89,7 @@ class TestCompareObservations:
                                     stats=stats_to_dict(stats_a)),
             ("a", "reference"): _obs("a", "reference",
                                      stats=stats_to_dict(stats_b)),
+            ("a", "jit"): _obs("a", "jit", stats=stats_to_dict(stats_a)),
         })
         divergences = compare_observations(observations, self.CONFIGS)
         assert [d.kind for d in divergences] == ["engine-stats"]
@@ -96,6 +99,7 @@ class TestCompareObservations:
         observations = self._base({
             ("b", "compiled"): _obs("b", "compiled", ok=False, error="boom"),
             ("b", "reference"): _obs("b", "reference", ok=False, error="boom"),
+            ("b", "jit"): _obs("b", "jit", ok=False, error="boom"),
         })
         kinds = [d.kind for d in compare_observations(observations, self.CONFIGS)]
         assert kinds == ["flow-error"]
@@ -108,9 +112,10 @@ class TestCompareObservations:
         assert "engine-error" in kinds
 
     def test_all_failing_is_one_divergence(self):
+        from repro.flows import ENGINES
         observations = {(c.label, e): _obs(c.label, e, ok=False, error="nope")
                         for c in self.CONFIGS
-                        for e in ("compiled", "reference")}
+                        for e in ENGINES}
         kinds = [d.kind for d in compare_observations(observations, self.CONFIGS)]
         assert kinds == ["all-failed"]
 
@@ -143,8 +148,9 @@ program p
 end program p
 """)
         assert report.ok, [d.describe() for d in report.divergences]
-        # 3 configs x 2 engines observed
-        assert len(report.observations) == 6
+        from repro.flows import ENGINES
+        # 3 configs x 3 engines observed
+        assert len(report.observations) == 3 * len(ENGINES)
         assert all(o.ok for o in report.observations.values())
 
     @pytest.mark.parametrize("seed", range(4))
@@ -159,7 +165,7 @@ class TestServiceSweep:
         assert report.ok
         assert len(report.seeds) == 2
         assert report.service_counters["recompilations"] == \
-            2 * len(report.configs) * 2
+            2 * len(report.configs) * len(report.engines)
 
     def test_warm_sweep_recompiles_nothing(self):
         from repro.service import CompileService

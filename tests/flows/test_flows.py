@@ -219,3 +219,14 @@ class TestNewFlowNeedsNoServiceEdits:
         assert artifact.key == CompileJob("no-such-flow",
                                           "dotproduct").safe_key()
         assert "unknown compiler flow" in artifact.error
+
+
+class TestEngineNameSync:
+    def test_flows_engines_match_interpreter_engine_names(self):
+        """flows.ENGINES and machine's ENGINE_NAMES cannot import each other
+        (cycle through the flang driver); this asserts they stay in sync,
+        including the order — the first entry is the oracle's baseline."""
+        from repro.flows import ENGINES
+        from repro.machine.interpreter import ENGINE_NAMES
+        assert tuple(ENGINES) == tuple(ENGINE_NAMES)
+        assert ENGINES[0] == "compiled"

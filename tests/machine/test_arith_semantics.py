@@ -16,13 +16,13 @@ from repro.service.serialization import stats_to_dict
 
 from ..conftest import run_flang, run_ours
 
-ENGINES = pytest.mark.parametrize("compile_blocks", [True, False],
-                                  ids=["compiled", "reference"])
+ENGINES = pytest.mark.parametrize("engine",
+                                  ["compiled", "reference", "jit"])
 
 NAN = float("nan")
 
 
-def _interpret(arg_types, build, *, compile_blocks, args=()):
+def _interpret(arg_types, build, *, engine, args=()):
     """Build main(arg_types) from ``build(block_args)`` and run it.
 
     ``build`` returns (ops, result_values); the function is executed with
@@ -34,54 +34,54 @@ def _interpret(arg_types, build, *, compile_blocks, args=()):
         fn.entry_block.add_op(op)
     fn.entry_block.add_op(ReturnOp(results))
     module = ModuleOp([fn])
-    interp = Interpreter(module, compile_blocks=compile_blocks)
+    interp = Interpreter(module, engine=engine)
     return interp.call("main", list(args))
 
 
-def _eval_binary(op_name, a, b, operand_type, *, compile_blocks):
+def _eval_binary(op_name, a, b, operand_type, *, engine):
     def build(args):
         op = create_operation(op_name, operands=list(args),
                               result_types=[operand_type])
         return [op], [op.results[0]]
     (result,) = _interpret([operand_type, operand_type], build,
-                           compile_blocks=compile_blocks, args=[a, b])
+                           engine=engine, args=[a, b])
     return result
 
 
-def _eval_cmpi(predicate, a, b, operand_type, *, compile_blocks):
+def _eval_cmpi(predicate, a, b, operand_type, *, engine):
     def build(args):
         op = arith.CmpIOp(predicate, args[0], args[1])
         return [op], [op.results[0]]
     (result,) = _interpret([operand_type, operand_type], build,
-                           compile_blocks=compile_blocks, args=[a, b])
+                           engine=engine, args=[a, b])
     return result
 
 
-def _eval_cmpf(predicate, a, b, *, compile_blocks):
+def _eval_cmpf(predicate, a, b, *, engine):
     def build(args):
         op = arith.CmpFOp(predicate, args[0], args[1])
         return [op], [op.results[0]]
     (result,) = _interpret([T.f64, T.f64], build,
-                           compile_blocks=compile_blocks, args=[a, b])
+                           engine=engine, args=[a, b])
     return result
 
 
 class TestCmpISemantics:
     @ENGINES
-    def test_signed_predicates_on_negatives(self, compile_blocks):
-        assert _eval_cmpi("slt", -1, 1, T.i32, compile_blocks=compile_blocks)
-        assert _eval_cmpi("sge", 1, -1, T.i32, compile_blocks=compile_blocks)
-        assert not _eval_cmpi("sgt", -5, -3, T.i32, compile_blocks=compile_blocks)
+    def test_signed_predicates_on_negatives(self, engine):
+        assert _eval_cmpi("slt", -1, 1, T.i32, engine=engine)
+        assert _eval_cmpi("sge", 1, -1, T.i32, engine=engine)
+        assert not _eval_cmpi("sgt", -5, -3, T.i32, engine=engine)
 
     @ENGINES
-    def test_unsigned_predicates_reinterpret_negatives(self, compile_blocks):
+    def test_unsigned_predicates_reinterpret_negatives(self, engine):
         # -1 is the largest i32 when reinterpreted as unsigned
-        assert _eval_cmpi("ugt", -1, 1, T.i32, compile_blocks=compile_blocks)
-        assert not _eval_cmpi("ult", -1, 1, T.i32, compile_blocks=compile_blocks)
-        assert _eval_cmpi("uge", -1, 2**31, T.i32, compile_blocks=compile_blocks)
+        assert _eval_cmpi("ugt", -1, 1, T.i32, engine=engine)
+        assert not _eval_cmpi("ult", -1, 1, T.i32, engine=engine)
+        assert _eval_cmpi("uge", -1, 2**31, T.i32, engine=engine)
         # ordering among negatives is preserved (both wrap high)
-        assert _eval_cmpi("ult", -5, -3, T.i32, compile_blocks=compile_blocks)
-        assert _eval_cmpi("ule", -3, -3, T.i32, compile_blocks=compile_blocks)
+        assert _eval_cmpi("ult", -5, -3, T.i32, engine=engine)
+        assert _eval_cmpi("ule", -3, -3, T.i32, engine=engine)
 
     def test_reinterpretation_is_width_aware(self):
         from repro.machine.semantics import as_unsigned
@@ -97,61 +97,61 @@ class TestCmpISemantics:
         assert as_unsigned(np.array([-1], dtype=np.int64), 64).dtype == np.uint64
 
     @ENGINES
-    def test_unsigned_predicates_at_both_widths(self, compile_blocks):
+    def test_unsigned_predicates_at_both_widths(self, engine):
         # -1 reinterprets to 2^64-1 at i64 and 2^32-1 at i32; both exceed 2^31
-        assert _eval_cmpi("ugt", -1, 2**31, T.i64, compile_blocks=compile_blocks)
-        assert _eval_cmpi("ugt", -1, 2**31, T.i32, compile_blocks=compile_blocks)
+        assert _eval_cmpi("ugt", -1, 2**31, T.i64, engine=engine)
+        assert _eval_cmpi("ugt", -1, 2**31, T.i32, engine=engine)
 
     @ENGINES
-    def test_unsigned_predicates_on_ndarrays(self, compile_blocks):
+    def test_unsigned_predicates_on_ndarrays(self, engine):
         a = np.array([-1, 2, -5], dtype=np.int32)
         b = np.array([1, 2, -3], dtype=np.int32)
-        result = _eval_cmpi("ult", a, b, T.i32, compile_blocks=compile_blocks)
+        result = _eval_cmpi("ult", a, b, T.i32, engine=engine)
         assert list(result) == [False, False, True]
-        result = _eval_cmpi("uge", a, b, T.i32, compile_blocks=compile_blocks)
+        result = _eval_cmpi("uge", a, b, T.i32, engine=engine)
         assert list(result) == [True, True, False]
 
 
 class TestCmpFSemantics:
     @ENGINES
-    def test_ordered_predicates_false_on_nan(self, compile_blocks):
+    def test_ordered_predicates_false_on_nan(self, engine):
         for pred in ("oeq", "one", "olt", "ole", "ogt", "oge"):
-            assert not _eval_cmpf(pred, NAN, 1.0, compile_blocks=compile_blocks)
-            assert not _eval_cmpf(pred, 1.0, NAN, compile_blocks=compile_blocks)
+            assert not _eval_cmpf(pred, NAN, 1.0, engine=engine)
+            assert not _eval_cmpf(pred, 1.0, NAN, engine=engine)
 
     @ENGINES
-    def test_unordered_predicates_true_on_nan(self, compile_blocks):
+    def test_unordered_predicates_true_on_nan(self, engine):
         for pred in ("ueq", "une", "ult", "ule", "ugt", "uge"):
-            assert _eval_cmpf(pred, NAN, 1.0, compile_blocks=compile_blocks)
-            assert _eval_cmpf(pred, 1.0, NAN, compile_blocks=compile_blocks)
+            assert _eval_cmpf(pred, NAN, 1.0, engine=engine)
+            assert _eval_cmpf(pred, 1.0, NAN, engine=engine)
 
     @ENGINES
-    def test_ord_uno_detect_nan(self, compile_blocks):
-        assert _eval_cmpf("ord", 1.0, 2.0, compile_blocks=compile_blocks)
-        assert not _eval_cmpf("ord", NAN, 2.0, compile_blocks=compile_blocks)
-        assert not _eval_cmpf("uno", 1.0, 2.0, compile_blocks=compile_blocks)
-        assert _eval_cmpf("uno", 1.0, NAN, compile_blocks=compile_blocks)
+    def test_ord_uno_detect_nan(self, engine):
+        assert _eval_cmpf("ord", 1.0, 2.0, engine=engine)
+        assert not _eval_cmpf("ord", NAN, 2.0, engine=engine)
+        assert not _eval_cmpf("uno", 1.0, 2.0, engine=engine)
+        assert _eval_cmpf("uno", 1.0, NAN, engine=engine)
 
     @ENGINES
-    def test_behave_as_ordered_without_nan(self, compile_blocks):
-        assert _eval_cmpf("ueq", 2.0, 2.0, compile_blocks=compile_blocks)
-        assert not _eval_cmpf("ueq", 1.0, 2.0, compile_blocks=compile_blocks)
-        assert _eval_cmpf("one", 1.0, 2.0, compile_blocks=compile_blocks)
-        assert not _eval_cmpf("une", 2.0, 2.0, compile_blocks=compile_blocks)
+    def test_behave_as_ordered_without_nan(self, engine):
+        assert _eval_cmpf("ueq", 2.0, 2.0, engine=engine)
+        assert not _eval_cmpf("ueq", 1.0, 2.0, engine=engine)
+        assert _eval_cmpf("one", 1.0, 2.0, engine=engine)
+        assert not _eval_cmpf("une", 2.0, 2.0, engine=engine)
 
     @ENGINES
-    def test_vectorized_nan_semantics(self, compile_blocks):
+    def test_vectorized_nan_semantics(self, engine):
         a = np.array([1.0, NAN, 3.0])
         b = np.array([1.0, 2.0, NAN])
-        assert list(_eval_cmpf("oeq", a, b, compile_blocks=compile_blocks)) == \
+        assert list(_eval_cmpf("oeq", a, b, engine=engine)) == \
             [True, False, False]
-        assert list(_eval_cmpf("ueq", a, b, compile_blocks=compile_blocks)) == \
+        assert list(_eval_cmpf("ueq", a, b, engine=engine)) == \
             [True, True, True]
-        assert list(_eval_cmpf("one", a, b, compile_blocks=compile_blocks)) == \
+        assert list(_eval_cmpf("one", a, b, engine=engine)) == \
             [False, False, False]
-        assert list(_eval_cmpf("ord", a, b, compile_blocks=compile_blocks)) == \
+        assert list(_eval_cmpf("ord", a, b, engine=engine)) == \
             [True, False, False]
-        assert list(_eval_cmpf("uno", a, b, compile_blocks=compile_blocks)) == \
+        assert list(_eval_cmpf("uno", a, b, engine=engine)) == \
             [False, True, True]
 
 
@@ -164,42 +164,42 @@ class TestIntegerDivision:
              (-6, 3, -2, 0), (5, 0, 0, 0)]
 
     @ENGINES
-    def test_divsi_remsi_scalar(self, compile_blocks):
+    def test_divsi_remsi_scalar(self, engine):
         for a, b, q, r in self.CASES:
             assert _eval_binary("arith.divsi", a, b, T.i32,
-                                compile_blocks=compile_blocks) == q, (a, b)
+                                engine=engine) == q, (a, b)
             assert _eval_binary("arith.remsi", a, b, T.i32,
-                                compile_blocks=compile_blocks) == r, (a, b)
+                                engine=engine) == r, (a, b)
 
     @ENGINES
-    def test_divsi_remsi_ndarray_matches_scalar(self, compile_blocks):
+    def test_divsi_remsi_ndarray_matches_scalar(self, engine):
         a = np.array([c[0] for c in self.CASES], dtype=np.int64)
         b = np.array([c[1] for c in self.CASES], dtype=np.int64)
         q = _eval_binary("arith.divsi", a, b, T.i64,
-                         compile_blocks=compile_blocks)
+                         engine=engine)
         r = _eval_binary("arith.remsi", a, b, T.i64,
-                         compile_blocks=compile_blocks)
+                         engine=engine)
         assert list(q) == [c[2] for c in self.CASES]
         assert list(r) == [c[3] for c in self.CASES]
 
     @ENGINES
-    def test_floordiv_ceildiv_negative_operands(self, compile_blocks):
+    def test_floordiv_ceildiv_negative_operands(self, engine):
         for a, b, floor_q, ceil_q in [(-7, 2, -4, -3), (7, -2, -4, -3),
                                       (7, 2, 3, 4), (-7, -2, 3, 4),
                                       (5, 0, 0, 0)]:
             assert _eval_binary("arith.floordivsi", a, b, T.i64,
-                                compile_blocks=compile_blocks) == floor_q, (a, b)
+                                engine=engine) == floor_q, (a, b)
             assert _eval_binary("arith.ceildivsi", a, b, T.i64,
-                                compile_blocks=compile_blocks) == ceil_q, (a, b)
+                                engine=engine) == ceil_q, (a, b)
 
     @ENGINES
-    def test_floordiv_ceildiv_ndarray(self, compile_blocks):
+    def test_floordiv_ceildiv_ndarray(self, engine):
         a = np.array([-7, 7, 7, -7, 5], dtype=np.int64)
         b = np.array([2, -2, 2, -2, 0], dtype=np.int64)
         floor_q = _eval_binary("arith.floordivsi", a, b, T.i64,
-                               compile_blocks=compile_blocks)
+                               engine=engine)
         ceil_q = _eval_binary("arith.ceildivsi", a, b, T.i64,
-                              compile_blocks=compile_blocks)
+                              engine=engine)
         assert list(floor_q) == [-4, -4, 3, 3, 0]
         assert list(ceil_q) == [-3, -3, 4, 4, 0]
 
@@ -225,12 +225,14 @@ class TestDispatchCacheRegression:
     statistics, bit for bit."""
 
     def _assert_engines_identical(self, module):
-        reference = Interpreter(module, compile_blocks=False)
+        reference = Interpreter(module, engine="reference")
         reference.run_main()
-        compiled = Interpreter(module)
-        compiled.run_main()
-        assert compiled.printed == reference.printed
-        assert stats_to_dict(compiled.stats) == stats_to_dict(reference.stats)
+        for engine in ("compiled", "jit"):
+            other = Interpreter(module, engine=engine)
+            other.run_main()
+            assert other.printed == reference.printed, engine
+            assert stats_to_dict(other.stats) == \
+                stats_to_dict(reference.stats), engine
 
     def test_polyhedron_workload_stats_equality(self, flang_compiler,
                                                 standard_compiler):
@@ -247,12 +249,12 @@ class TestDispatchCacheRegression:
             standard_compiler.compile(simple_program_source).optimised_module)
 
     @ENGINES
-    def test_execution_limit_still_enforced(self, compile_blocks,
+    def test_execution_limit_still_enforced(self, engine,
                                             standard_compiler,
                                             simple_program_source):
         from repro.machine import ExecutionLimitExceeded
         result = standard_compiler.compile(simple_program_source)
         interp = Interpreter(result.optimised_module, max_ops=50,
-                             compile_blocks=compile_blocks)
+                             engine=engine)
         with pytest.raises(ExecutionLimitExceeded):
             interp.run_main()

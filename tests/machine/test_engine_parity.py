@@ -2,14 +2,15 @@
 
 PR 3 spot-checked one polyhedron kernel and one stencil; this extends the
 guarantee to **every registered workload family** (and the conformance
-generator's family): the cached-dispatch engine and the one-op reference
-engine must produce bit-identical :class:`ExecutionStats` and printed
-output for the same compiled module.
+generator's family) and to **all three engines**: the cached-dispatch
+engine, the trace-compiling jit engine and the one-op reference engine must
+produce bit-identical :class:`ExecutionStats` and printed output for the
+same compiled module.
 """
 
 import pytest
 
-from repro.flows import get_flow
+from repro.flows import ENGINES, get_flow
 from repro.machine import Interpreter
 from repro.service.serialization import stats_to_dict
 from repro.workloads import all_workloads, get_workload
@@ -31,13 +32,17 @@ FAMILIES = _families()
 
 
 def _assert_engines_identical(module):
-    reference = Interpreter(module, compile_blocks=False)
+    reference = Interpreter(module, engine="reference")
     reference.run_main()
-    compiled = Interpreter(module, compile_blocks=True)
-    compiled.run_main()
-    assert compiled.printed == reference.printed
-    assert stats_to_dict(compiled.stats) == stats_to_dict(reference.stats)
-    assert not compiled.stats.diff(reference.stats)
+    for engine in ENGINES:
+        if engine == "reference":
+            continue
+        other = Interpreter(module, engine=engine)
+        other.run_main()
+        assert other.printed == reference.printed, engine
+        assert stats_to_dict(other.stats) == \
+            stats_to_dict(reference.stats), engine
+        assert not other.stats.diff(reference.stats), engine
 
 
 class TestEngineParityAcrossRegistry:

@@ -181,3 +181,31 @@ class TestProfiler:
         assert flang_mix.vectorised_fp_fraction == 0.0
         assert ours_mix.vectorised_fp_fraction > 0.0
         assert flang_mix.total_instructions > ours_mix.total_instructions
+
+
+class TestEngineParameterisedProfiling:
+    """profile_module / modeled_runtime accept the engine as an argument;
+    since all engines are stats-identical, the derived numbers must be
+    engine-independent, bit for bit."""
+
+    def _module(self, standard_compiler, simple_program_source):
+        return standard_compiler.compile(simple_program_source).optimised_module
+
+    def test_profile_module_is_engine_independent(self, standard_compiler,
+                                                  simple_program_source):
+        from repro.machine import profile_module
+        module = self._module(standard_compiler, simple_program_source)
+        mixes = [profile_module(module, engine=engine).as_dict()
+                 for engine in ("compiled", "reference", "jit")]
+        assert mixes[0] == mixes[1] == mixes[2]
+        assert mixes[0]["total_instructions"] > 0
+
+    def test_modeled_runtime_is_engine_independent(self, standard_compiler,
+                                                   simple_program_source):
+        from repro.machine import WorkloadScaling, modeled_runtime
+        module = self._module(standard_compiler, simple_program_source)
+        scaling = WorkloadScaling(work_ratio=10.0, working_set_bytes=1 << 20)
+        runs = [modeled_runtime(module, scaling, engine=engine).as_dict()
+                for engine in ("compiled", "reference", "jit")]
+        assert runs[0] == runs[1] == runs[2]
+        assert runs[0]["total_s"] > 0
