@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Compilation-daemon demo: one warm daemon serving repeated batches.
+
+Starts ``python -m repro.service serve`` on a private unix socket, drives
+the same table batch through it twice, and prints the daemon's own
+metrics after each batch — the first run compiles, the second is served
+entirely from the daemon's warm cache, so the hit rate jumps from ~0 to
+~1 without this process compiling anything.
+
+Run with ``PYTHONPATH=src python examples/daemon_demo.py``.
+"""
+
+import os
+import subprocess
+import sys
+import tempfile
+import time
+
+from repro.service import run_tables
+from repro.service.client import (DaemonClient, DaemonUnavailable,
+                                  maybe_daemon_service)
+
+TABLES = ["table3", "figure3"]
+
+
+def wait_for_daemon(socket_path: str, deadline_s: float = 20.0) -> None:
+    t0 = time.perf_counter()
+    while True:
+        try:
+            with DaemonClient(socket_path) as client:
+                client.ping()
+            return
+        except (DaemonUnavailable, OSError):
+            if time.perf_counter() - t0 > deadline_s:
+                raise
+            time.sleep(0.1)
+
+
+def one_batch(socket_path: str, label: str) -> float:
+    service = maybe_daemon_service(socket_path, max_workers=2)
+    assert service is not None, "daemon did not answer discovery"
+    t0 = time.perf_counter()
+    run_tables(tables=TABLES, service=service)
+    elapsed = time.perf_counter() - t0
+    metrics = service.daemon_metrics()
+    print(f"[{label}] {elapsed:6.2f}s  daemon: "
+          f"{metrics['compiled']} compiled, "
+          f"{metrics['cache_hits']} cache hits, "
+          f"{metrics['coalesced']} coalesced, "
+          f"hit rate {metrics['hit_rate']:.2f}")
+    service.client.close()
+    return metrics["hit_rate"]
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory(prefix="repro-daemon-") as workdir:
+        socket_path = os.path.join(workdir, "daemon.sock")
+        print(f"starting daemon on {socket_path}\n")
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.service", "serve",
+             "--socket", socket_path,
+             "--cache-dir", os.path.join(workdir, "cache"), "--jobs", "2"],
+            env={**os.environ, "PYTHONPATH": "src"})
+        try:
+            wait_for_daemon(socket_path)
+            cold_rate = one_batch(socket_path, "first batch ")
+            warm_rate = one_batch(socket_path, "second batch")
+            print(f"\nhit-rate delta: {cold_rate:.2f} -> {warm_rate:.2f} "
+                  "(the second batch was served from the daemon's warm "
+                  "cache)")
+            with DaemonClient(socket_path) as client:
+                client.shutdown()
+            proc.wait(timeout=20)
+        finally:
+            if proc.poll() is None:
+                proc.terminate()
+                proc.wait(timeout=10)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

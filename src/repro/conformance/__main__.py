@@ -86,6 +86,28 @@ def _print_report(report: KernelReport) -> None:
         print(f"  {divergence.describe()}")
 
 
+def _sweep_service(args: argparse.Namespace):
+    """A daemon-backed service when one is reachable, else ``None``.
+
+    ``None`` keeps :func:`run_sweep`'s classic in-process service, which is
+    bit-identical — the daemon only changes where compiles happen.
+    """
+    from ..service import maybe_daemon_service
+    from ..service.client import DaemonUnavailable, discover_client
+
+    if getattr(args, "no_daemon", False):
+        return None
+    socket_spec = getattr(args, "socket", None)
+    service = maybe_daemon_service(socket_spec, max_workers=args.jobs)
+    if service is None and socket_spec:
+        # an explicitly named socket that does not answer is an error
+        discover_client(socket_spec, require=True)  # raises DaemonUnavailable
+    if service is not None:
+        print(f"using compilation daemon at {service.socket_spec}",
+              file=sys.stderr)
+    return service
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     configs = _parse_flows(args.flows)
     engines = _parse_engines(args.engines)
@@ -98,8 +120,14 @@ def _cmd_run(args: argparse.Namespace) -> int:
         elif args.verbose:
             print(f"seed {seed}: ok")
 
+    from ..service.client import DaemonUnavailable
+    try:
+        service = _sweep_service(args)
+    except DaemonUnavailable as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     report = run_sweep(seeds, configs, engines=engines, max_workers=args.jobs,
-                       progress=progress)
+                       service=service, progress=progress)
     print(report.summary())
     print(f"service counters: {report.service_counters}")
     if report.ok:
@@ -173,6 +201,13 @@ def main(argv: Optional[List[str]] = None) -> int:
                        help="skip shrinking divergent kernels")
     run_p.add_argument("--verbose", action="store_true",
                        help="print every seed, not just divergent ones")
+    run_p.add_argument("--socket", default=None, metavar="PATH",
+                       help="compilation daemon socket (unix path or "
+                            "tcp:HOST:PORT; default: $REPRO_DAEMON_SOCKET "
+                            "or the per-user default, when one is running)")
+    run_p.add_argument("--no-daemon", action="store_true",
+                       help="never use a compilation daemon, even if one "
+                            "is running")
     run_p.set_defaults(func=_cmd_run)
 
     repro_p = sub.add_parser("repro", help="re-check and shrink one seed")

@@ -112,6 +112,12 @@ def build_parser() -> argparse.ArgumentParser:
                       help="list registered flows with their options schemas")
     info.add_argument("--list-passes", action="store_true",
                       help="list every registered pass name")
+
+    parser.add_argument("--no-daemon", action="store_true",
+                        help="never fetch artifacts from a running "
+                             "compilation daemon (daemon use requires "
+                             "--workload and --no-verify, and no local-only "
+                             "output such as --timing or --dump-ir)")
     return parser
 
 
@@ -198,6 +204,55 @@ def _verify(module, label: str) -> bool:
 # ---------------------------------------------------------------------------
 
 
+def _daemon_eligible(args) -> bool:
+    """Daemon-served runs must be pure artifact fetches.
+
+    Anything that needs the live module object (final verification, stage
+    snapshots, per-pass timing/IR dumps) keeps the in-process path — the
+    fallback is silent, so behaviour without a daemon is exactly today's.
+    """
+    return (not args.no_daemon and args.workload is not None
+            and args.no_verify and not args.timing and not args.print_stages
+            and not args.verify_each and args.dump_ir is None)
+
+
+def _run_via_daemon(args, flow, coerced, execution) -> Optional[int]:
+    """Serve the run from a compilation daemon; ``None`` means fall back."""
+    from ..service import CompileJob, CompileService
+    from ..service.client import discover_client
+
+    job = CompileJob(
+        flow=flow.name, workload_name=args.workload,
+        workload_kwargs=tuple(sorted(_parse_assignments(
+            args.workload_arg, "--workload-arg").items())),
+        options=coerced, threads=args.threads, gpu=args.gpu,
+        engine=args.engine)
+    if not CompileService._pool_safe(job):
+        return None
+    client = discover_client()
+    if client is None:
+        return None
+    try:
+        payload, cached = client.execute(job.spec())
+    except Exception as exc:
+        print(f"// daemon fetch failed ({exc}); compiling in-process",
+              file=sys.stderr)
+        return None
+    finally:
+        client.close()
+    if not payload["ok"]:
+        print(f"error: flow '{flow.name}' failed: {payload['error']}",
+              file=sys.stderr)
+        return 1
+    print(f"// served by compilation daemon at {client.socket_spec}"
+          f"{' (cached)' if cached else ''}", file=sys.stderr)
+    if not args.no_print_ir:
+        _emit(payload["module_text"], args.output)
+    if payload.get("pipeline"):
+        print(f"// pipeline: {payload['pipeline']}")
+    return 0
+
+
 def _run_flow(args, source) -> int:
     flow = get_flow(args.flow or "ours")
     options = _parse_assignments(args.option, "--option")
@@ -208,6 +263,10 @@ def _run_flow(args, source) -> int:
         return 2
     execution = ExecutionContext(threads=args.threads, gpu=args.gpu,
                                  engine=args.engine)
+    if _daemon_eligible(args):
+        status = _run_via_daemon(args, flow, coerced, execution)
+        if status is not None:
+            return status
     result = flow.run(source, coerced, execution,
                       verify_each=args.verify_each,
                       instrumentation=_instrumentation(args))

@@ -6,13 +6,20 @@ options) executions are compiled and interpreted exactly once — across
 adapter instances, across tables, and (with a cache directory) across
 process invocations:
 
-* :mod:`repro.service.cache` — two-tier artifact cache (memory LRU + disk),
+* :mod:`repro.service.cache` — two-tier artifact cache (memory LRU + the
+  sharded disk store of :mod:`repro.service.sharded`),
 * :mod:`repro.service.jobs` — compile jobs and their content-addressed keys,
 * :mod:`repro.service.scheduler` — cache-aware execution and parallel fanout,
 * :mod:`repro.service.tables` — batch API regenerating the paper's tables,
+* :mod:`repro.service.daemon` / :mod:`repro.service.client` — the long-lived
+  compilation daemon (``python -m repro.service serve``) and its clients,
 * ``python -m repro.service run-tables`` — the CLI over the batch API.
 
 Set ``REPRO_CACHE_DIR`` to give the default service a persistent store.
+When a daemon is running (``$REPRO_DAEMON_SOCKET``, or the default
+per-user socket), the default service transparently routes compiles
+through it; with no daemon anything using the default service behaves
+exactly as before.
 """
 
 from __future__ import annotations
@@ -22,6 +29,10 @@ from contextlib import contextmanager
 from typing import Iterator, Optional
 
 from .cache import ArtifactCache, CacheCounters
+from .client import (NO_DAEMON_ENV, SOCKET_ENV, DaemonBackedService,
+                     DaemonClient, DaemonUnavailable, default_socket_path,
+                     discover_client, maybe_daemon_service)
+from .daemon import CompileDaemon, DaemonError, serve_forever
 from .jobs import (KEY_SCHEMA_VERSION, CompiledArtifact, CompileJob,
                    ServiceError, execute_spec, run_job)
 from .scheduler import BatchReport, CompileService
@@ -35,8 +46,15 @@ _default_service: Optional[CompileService] = None
 
 
 def get_default_service() -> CompileService:
-    """The process-wide service every compiler adapter routes through."""
+    """The process-wide service every compiler adapter routes through.
+
+    Prefers a running compilation daemon (discovered via
+    ``$REPRO_DAEMON_SOCKET`` or the default per-user socket path) and
+    falls back to the classic in-process service when none is running.
+    """
     global _default_service
+    if _default_service is None:
+        _default_service = maybe_daemon_service()
     if _default_service is None:
         cache_dir = os.environ.get(CACHE_DIR_ENV) or None
         _default_service = CompileService(ArtifactCache(cache_dir=cache_dir))
@@ -68,4 +86,8 @@ __all__ = [
     "ALL_TABLES", "jobs_for", "enumerate_jobs", "run_tables",
     "get_default_service", "set_default_service", "use_service",
     "CACHE_DIR_ENV",
+    "CompileDaemon", "DaemonError", "serve_forever",
+    "DaemonClient", "DaemonBackedService", "DaemonUnavailable",
+    "default_socket_path", "discover_client", "maybe_daemon_service",
+    "SOCKET_ENV", "NO_DAEMON_ENV",
 ]

@@ -1,31 +1,34 @@
 """Content-addressed artifact cache: in-memory LRU tier over a disk store.
 
 Artifacts are JSON payloads addressed by the SHA-256 of their job's key
-material (see :mod:`repro.service.jobs`).  The disk layout is
+material (see :mod:`repro.service.jobs`).  The disk tier is the sharded
+store of :mod:`repro.service.sharded`:
 
-    <cache_dir>/CACHE_FORMAT              format version marker
-    <cache_dir>/objects/<k[:2]>/<k>.json  one artifact per key
+    <cache_dir>/CACHE_FORMAT        format version marker
+    <cache_dir>/shards/<pp>.json    256 shard files, pp = key[:2]
 
 Keys embed a schema salt (:data:`repro.service.jobs.KEY_SCHEMA_VERSION`),
 so bumping the salt invalidates every previously persisted artifact without
-touching the store; ``CACHE_FORMAT`` guards the on-disk *layout* instead.
-Corrupt or truncated entries are treated as misses and overwritten on the
-next store, so a killed run can never poison the cache.
+touching the store; ``CACHE_FORMAT`` guards the on-disk *layout* instead
+(a PR-1 ``objects/`` tree is migrated into shards on first open).
+Corrupt or truncated shards are treated as misses and overwritten on the
+next store, so a killed run can never poison the cache, and the disk
+footprint is bounded by an LRU byte budget (``byte_budget`` /
+``$REPRO_CACHE_BUDGET``).
 """
 
 from __future__ import annotations
 
-import json
-import os
-import tempfile
 from collections import OrderedDict
 from dataclasses import dataclass
 from pathlib import Path
 from threading import Lock
 from typing import Any, Dict, Optional
 
+from .sharded import DEFAULT_BYTE_BUDGET, SHARDED_FORMAT, ShardedStore
+
 #: On-disk layout version (distinct from the key schema salt).
-CACHE_FORMAT = 1
+CACHE_FORMAT = SHARDED_FORMAT
 
 #: Default size of the in-memory LRU tier (artifacts, not bytes).
 DEFAULT_MEMORY_ENTRIES = 1024
@@ -59,39 +62,36 @@ class ArtifactCache:
 
     ``cache_dir=None`` keeps the cache purely in memory (still shared across
     every adapter instance in the process); with a directory, artifacts also
-    persist across process invocations.
+    persist across process invocations in the sharded disk store.
     """
 
     def __init__(self, cache_dir: Optional[str] = None,
-                 memory_entries: int = DEFAULT_MEMORY_ENTRIES):
+                 memory_entries: int = DEFAULT_MEMORY_ENTRIES,
+                 byte_budget: Optional[int] = None):
         self._memory: "OrderedDict[str, Dict[str, Any]]" = OrderedDict()
         self._memory_entries = max(0, memory_entries)
         self._lock = Lock()
         self.counters = CacheCounters()
-        self._dir: Optional[Path] = None
+        self._store: Optional[ShardedStore] = None
         if cache_dir:
-            self._dir = Path(cache_dir).expanduser()
-            (self._dir / "objects").mkdir(parents=True, exist_ok=True)
-            marker = self._dir / "CACHE_FORMAT"
-            if not marker.exists():
-                marker.write_text(f"{CACHE_FORMAT}\n")
+            self._store = ShardedStore(cache_dir, byte_budget=byte_budget)
 
     # ------------------------------------------------------------------ info
     @property
     def cache_dir(self) -> Optional[Path]:
-        return self._dir
+        return self._store.directory if self._store is not None else None
+
+    @property
+    def store(self) -> Optional[ShardedStore]:
+        return self._store
 
     @property
     def persistent(self) -> bool:
-        return self._dir is not None
+        return self._store is not None
 
     def __len__(self) -> int:
         with self._lock:
             return len(self._memory)
-
-    def _object_path(self, key: str) -> Path:
-        assert self._dir is not None
-        return self._dir / "objects" / key[:2] / f"{key}.json"
 
     # ---------------------------------------------------------------- lookup
     def get(self, key: str) -> Optional[Dict[str, Any]]:
@@ -101,13 +101,8 @@ class ArtifactCache:
                 self._memory.move_to_end(key)
                 self.counters.memory_hits += 1
                 return payload
-        if self._dir is not None:
-            path = self._object_path(key)
-            try:
-                with path.open("r", encoding="utf-8") as fh:
-                    payload = json.load(fh)
-            except (OSError, ValueError):
-                payload = None
+        if self._store is not None:
+            payload = self._store.get(key)
             if payload is not None:
                 with self._lock:
                     self.counters.disk_hits += 1
@@ -121,27 +116,15 @@ class ArtifactCache:
         with self._lock:
             if key in self._memory:
                 return True
-        return self._dir is not None and self._object_path(key).exists()
+        return self._store is not None and self._store.contains(key)
 
     # ----------------------------------------------------------------- store
     def put(self, key: str, payload: Dict[str, Any]) -> None:
         with self._lock:
             self.counters.stores += 1
             self._promote(key, payload)
-        if self._dir is not None:
-            path = self._object_path(key)
-            path.parent.mkdir(parents=True, exist_ok=True)
-            # atomic publish: a concurrent reader sees the old file or the new
-            fd, tmp = tempfile.mkstemp(dir=str(path.parent), suffix=".tmp")
-            try:
-                with os.fdopen(fd, "w", encoding="utf-8") as fh:
-                    json.dump(payload, fh)
-                os.replace(tmp, path)
-            except OSError:
-                try:
-                    os.unlink(tmp)
-                except OSError:
-                    pass
+        if self._store is not None:
+            self._store.put(key, payload)
 
     def _promote(self, key: str, payload: Dict[str, Any]) -> None:
         """Insert into the LRU tier (caller holds the lock)."""
@@ -155,6 +138,13 @@ class ArtifactCache:
         with self._lock:
             self._memory.clear()
 
+    def stats(self) -> Dict[str, int]:
+        """Counters plus disk-tier accounting (bytes, evictions)."""
+        merged = self.counters.as_dict()
+        if self._store is not None:
+            merged.update(self._store.stats())
+        return merged
+
 
 __all__ = ["ArtifactCache", "CacheCounters", "CACHE_FORMAT",
-           "DEFAULT_MEMORY_ENTRIES"]
+           "DEFAULT_MEMORY_ENTRIES", "DEFAULT_BYTE_BUDGET"]

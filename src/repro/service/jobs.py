@@ -158,6 +158,10 @@ class CompiledArtifact:
     stats: Optional[Any] = None          # ExecutionStats when ok
     printed: Tuple[str, ...] = ()
     module_text: str = ""
+    #: The textual pass pipeline the flow ran (empty when the flow does not
+    #: report one) — lets daemon-served CLI runs echo the same
+    #: ``// pipeline:`` line an in-process run prints.
+    pipeline: str = ""
     error: str = ""
     cached: bool = False                 # set by the service on cache hits
 
@@ -168,6 +172,7 @@ class CompiledArtifact:
             "stats": stats_to_dict(self.stats) if self.stats is not None else None,
             "printed": list(self.printed),
             "module_text": self.module_text,
+            "pipeline": self.pipeline,
             "error": self.error,
         }
 
@@ -180,6 +185,7 @@ class CompiledArtifact:
                    stats=stats_from_dict(stats) if stats is not None else None,
                    printed=tuple(payload.get("printed", ())),
                    module_text=payload.get("module_text", ""),
+                   pipeline=payload.get("pipeline", ""),
                    error=payload.get("error", ""), cached=cached)
 
     def raise_for_failure(self) -> None:
@@ -247,7 +253,8 @@ def _run_resolved_job(job: CompileJob, flow, workload,
         return CompiledArtifact(key=key, flow=job.flow, workload=workload.name,
                                 ok=True, stats=interpreter.stats,
                                 printed=tuple(interpreter.printed),
-                                module_text=module_text)
+                                module_text=module_text,
+                                pipeline=result.pipeline or "")
     except Exception as exc:
         return CompiledArtifact(key=key, flow=job.flow, workload=workload.name,
                                 ok=False,
@@ -260,5 +267,20 @@ def execute_spec(spec: Dict[str, Any]) -> Tuple[str, Dict[str, Any]]:
     return artifact.key, artifact.to_payload()
 
 
+def execute_spec_timed(
+        spec: Dict[str, Any]) -> Tuple[str, Dict[str, Any], float]:
+    """Like :func:`execute_spec`, plus the worker-side compile seconds.
+
+    The elapsed time is measured inside the worker, so it is pure
+    compile+interpret time — pool queueing and pickling are excluded.  It
+    travels next to the payload, never inside it: cached artifacts stay
+    bit-identical whether or not their compile was timed.
+    """
+    import time
+    started = time.perf_counter()
+    key, payload = execute_spec(spec)
+    return key, payload, time.perf_counter() - started
+
+
 __all__ = ["CompileJob", "CompiledArtifact", "ServiceError", "run_job",
-           "execute_spec", "KEY_SCHEMA_VERSION"]
+           "execute_spec", "execute_spec_timed", "KEY_SCHEMA_VERSION"]

@@ -16,13 +16,15 @@ recompiles nothing" is directly assertable: run the flow twice and check
 
 from __future__ import annotations
 
+import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from threading import Lock
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from .cache import ArtifactCache
-from .jobs import CompiledArtifact, CompileJob, execute_spec, run_job
+from .jobs import (CompiledArtifact, CompileJob, execute_spec_timed,
+                   run_job)
 
 
 @dataclass
@@ -36,6 +38,10 @@ class BatchReport:
     pool_executed: int = 0
     failures: List[Tuple[str, str]] = field(default_factory=list)
     workers: int = 1
+    #: Per-executed-job compile seconds, keyed by cache key.  Worker-side
+    #: time for pool jobs (queueing excluded); wall time for in-process
+    #: ones.  The daemon's latency percentiles are built from this.
+    timings: Dict[str, float] = field(default_factory=dict)
 
     def as_dict(self) -> Dict[str, Any]:
         return {"submitted": self.submitted, "unique": self.unique,
@@ -90,6 +96,9 @@ class CompileService:
                 misses.append(job)
 
         results = self._execute_misses(misses, workers, report)
+        report.timings = {key: elapsed
+                          for key, (_, elapsed) in results.items()}
+        results = {key: payload for key, (payload, _) in results.items()}
         for key, payload in results.items():
             self.cache.put(key, payload)
             if not payload["ok"]:
@@ -129,9 +138,11 @@ class CompileService:
         except Exception:
             return False
 
-    def _execute_misses(self, misses: List[CompileJob], workers: int,
-                        report: BatchReport) -> Dict[str, Dict[str, Any]]:
-        results: Dict[str, Dict[str, Any]] = {}
+    def _execute_misses(
+            self, misses: List[CompileJob], workers: int,
+            report: BatchReport
+    ) -> Dict[str, Tuple[Dict[str, Any], float]]:
+        results: Dict[str, Tuple[Dict[str, Any], float]] = {}
         local: List[CompileJob] = []
         remaining: List[CompileJob] = []
         for job in misses:
@@ -140,18 +151,19 @@ class CompileService:
             try:
                 with ProcessPoolExecutor(
                         max_workers=min(workers, len(remaining))) as pool:
-                    futures = [(job, pool.submit(execute_spec, job.spec()))
+                    futures = [(job,
+                                pool.submit(execute_spec_timed, job.spec()))
                                for job in remaining]
                     leftover: List[CompileJob] = []
                     for job, future in futures:
                         try:
-                            key, payload = future.result()
+                            key, payload, elapsed = future.result()
                         except Exception:
                             # worker infrastructure failure (broken pool,
                             # unpicklable state, ...): redo in-process below
                             leftover.append(job)
                             continue
-                        results[key] = payload
+                        results[key] = (payload, elapsed)
                         report.pool_executed += 1
                     remaining = leftover
             except Exception:
@@ -159,8 +171,10 @@ class CompileService:
                 pass
         for job in remaining + local:
             # run_job (not execute_spec) so attached workloads stay attached
+            started = time.perf_counter()
             artifact = run_job(job)
-            results[artifact.key] = artifact.to_payload()
+            results[artifact.key] = (artifact.to_payload(),
+                                     time.perf_counter() - started)
         return results
 
     # ------------------------------------------------------------- counters

@@ -81,8 +81,8 @@ class TestPersistence:
         service = make_service(tmp_path)
         job = CompileJob("ours", "dotproduct")
         service.execute(job)
-        for obj in (tmp_path / "cache" / "objects").rglob("*.json"):
-            obj.write_text("{truncated")
+        for shard in (tmp_path / "cache" / "shards").glob("*.json"):
+            shard.write_text("{truncated")
         service.cache.clear_memory()
         artifact = service.execute(CompileJob("ours", "dotproduct"))
         assert artifact.ok and service.recompilations == 2
