@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Interpreter benchmark: ops/sec for all three engines, to JSON.
+"""Interpreter benchmark: ops/sec for all four engines, to JSON.
 
 Compiles representative Polyhedron and stencil workloads once per flow
 (baseline Flang/FIR level and the standard-MLIR flow), then interprets each
@@ -8,19 +8,34 @@ module with
 * the ``reference`` engine (one op at a time, string-built ``getattr``
   dispatch — the pre-cached-dispatch behaviour),
 * the ``compiled`` cached-dispatch engine (per-block compiled thunk lists,
-  batched limit checks, pre-fetched stats counters), and
+  batched limit checks, pre-fetched stats counters),
 * the ``jit`` trace-compiling engine (blocks and structured loop bodies
-  translated into generated Python source, run as one code object),
+  translated into generated Python source, run as one code object, with a
+  process-level translation cache and an amortization tier that keeps cold
+  small blocks on cached dispatch), and
+* the ``vector`` engine (matched affine/scf/fir loop nests evaluated as
+  whole-array numpy expressions with analytically synthesized statistics),
 
 and writes wall time, dynamic op counts, ops/sec and the speedups per
 (workload, flow) to ``BENCH_interpreter.json`` so CI can track the
-performance trajectory.  Exits non-zero if any engine disagrees on
-statistics or program output (all three must be bit-identical), or if the
-cached-dispatch engine fails to beat the reference engine overall.
+performance trajectory.  Every engine is warmed up once untimed and then
+timed best-of-N runs on the same module (millisecond-scale rows keep
+sampling until a minimum measuring budget accumulates) — the steady state
+the compile daemon serves — which also exercises the jit engine's
+cross-interpreter translation cache.  Exits
+non-zero if any engine disagrees on statistics or program output (all four
+must be bit-identical), or if the cached-dispatch engine fails to beat the
+reference engine overall.
 
-``--check-floor`` additionally fails the run when the compiled engine's
-overall speedup over the reference engine regresses below 2.0x (the CI
-regression gate).
+``--check-floor`` additionally fails the run when
+
+* the compiled engine's overall speedup over the reference engine
+  regresses below 2.0x,
+* the jit engine falls behind cached dispatch on any row
+  (``jit_vs_compiled`` < 1.0), or
+* the vector engine's speedup over cached dispatch drops below 5.0x on
+  the stencil rows (``jacobi`` / ``tra-adv`` under the flang-fir flow —
+  the loop nests the whole-array evaluator exists for).
 
 Usage: ``PYTHONPATH=src python benchmarks/interpreter_bench.py [--quick]
 [--check-floor] [output.json]``
@@ -43,9 +58,22 @@ from repro.workloads import get_workload
 WORKLOADS = ["ac", "linpk", "tfft", "jacobi", "tra-adv"]
 QUICK_WORKLOADS = ["ac", "jacobi"]
 DEFAULT_OUTPUT = "BENCH_interpreter.json"
+#: best-of-N timing per engine: steady-state dispatch, noise-resistant.
+#: Millisecond-scale rows repeat until ``MIN_MEASURE_S`` of samples have
+#: accumulated (capped at ``MAX_REPEATS``) — three samples of a 3ms run
+#: cannot separate a real regression from scheduler jitter.
+REPEATS = 3
+MIN_MEASURE_S = 0.15
+MAX_REPEATS = 30
 #: CI gate: the cached-dispatch engine must stay at least this much faster
 #: than the reference engine overall (``--check-floor``).
 COMPILED_SPEEDUP_FLOOR = 2.0
+#: CI gate: the jit engine must never lose to cached dispatch on a row.
+JIT_ROW_FLOOR = 1.0
+#: CI gate: whole-array evaluation must stay at least this much faster
+#: than cached dispatch on the stencil rows it was built for.
+VECTOR_STENCIL_FLOOR = 5.0
+VECTOR_STENCIL_ROWS = (("jacobi", "flang-fir"), ("tra-adv", "flang-fir"))
 
 
 def compile_both(source: str):
@@ -55,10 +83,27 @@ def compile_both(source: str):
 
 
 def timed_run(module, engine: str):
-    interp = Interpreter(module, engine=engine)
-    t0 = time.perf_counter()
-    interp.run_main()
-    return time.perf_counter() - t0, interp
+    """Best-of-N wall seconds + the last interpreter instance.
+
+    One untimed warmup run populates the process-level caches (jit
+    translations, handler resolution) so every timed sample measures the
+    steady state the daemon serves; short rows then keep sampling until
+    ``MIN_MEASURE_S`` of wall time has accumulated.
+    """
+    Interpreter(module, engine=engine).run_main()
+    best = float("inf")
+    total = 0.0
+    reps = 0
+    interp = None
+    while reps < REPEATS or (total < MIN_MEASURE_S and reps < MAX_REPEATS):
+        interp = Interpreter(module, engine=engine)
+        t0 = time.perf_counter()
+        interp.run_main()
+        elapsed = time.perf_counter() - t0
+        best = min(best, elapsed)
+        total += elapsed
+        reps += 1
+    return best, interp
 
 
 def main() -> int:
@@ -76,10 +121,13 @@ def main() -> int:
             ref_s, ref = timed_run(module, "reference")
             new_s, new = timed_run(module, "compiled")
             jit_s, jit = timed_run(module, "jit")
+            vec_s, vec = timed_run(module, "vector")
             ref_stats = stats_to_dict(ref.stats)
             stats_equal = stats_to_dict(new.stats) == ref_stats \
-                and stats_to_dict(jit.stats) == ref_stats
-            output_equal = ref.printed == new.printed == jit.printed
+                and stats_to_dict(jit.stats) == ref_stats \
+                and stats_to_dict(vec.stats) == ref_stats
+            output_equal = (ref.printed == new.printed == jit.printed
+                            == vec.printed)
             if not (stats_equal and output_equal):
                 mismatches += 1
             total_ops = new.stats.total_ops
@@ -96,21 +144,26 @@ def main() -> int:
                 "jit_ops_per_s": round(total_ops / max(jit_s, 1e-9)),
                 "jit_speedup": round(ref_s / max(jit_s, 1e-9), 2),
                 "jit_vs_compiled": round(new_s / max(jit_s, 1e-9), 2),
+                "vector_wall_s": round(vec_s, 4),
+                "vector_ops_per_s": round(total_ops / max(vec_s, 1e-9)),
+                "vector_speedup": round(ref_s / max(vec_s, 1e-9), 2),
+                "vector_vs_compiled": round(new_s / max(vec_s, 1e-9), 2),
                 "stats_equal": stats_equal,
                 "output_equal": output_equal,
             })
             print(f"{name:10s} {flow:9s} {total_ops:>9} ops  "
                   f"ref {ref_s:6.3f}s  cached {new_s:6.3f}s  "
-                  f"jit {jit_s:6.3f}s  "
+                  f"jit {jit_s:6.3f}s  vec {vec_s:6.3f}s  "
                   f"cached {runs[-1]['speedup']:5.2f}x  "
-                  f"jit {runs[-1]['jit_speedup']:5.2f}x  "
                   f"jit/cached {runs[-1]['jit_vs_compiled']:5.2f}x  "
+                  f"vec/cached {runs[-1]['vector_vs_compiled']:5.2f}x  "
                   f"{'OK' if stats_equal and output_equal else 'MISMATCH'}")
 
     best = max(r["speedup"] for r in runs)
     total_ref = sum(r["baseline_wall_s"] for r in runs)
     total_new = sum(r["wall_s"] for r in runs)
     total_jit = sum(r["jit_wall_s"] for r in runs)
+    total_vec = sum(r["vector_wall_s"] for r in runs)
     report = {
         "benchmark": "interpreter_bench",
         "quick": quick,
@@ -120,11 +173,17 @@ def main() -> int:
         "total_wall_s": round(total_new, 4),
         "total_baseline_wall_s": round(total_ref, 4),
         "total_jit_wall_s": round(total_jit, 4),
+        "total_vector_wall_s": round(total_vec, 4),
         "overall_speedup": round(total_ref / max(total_new, 1e-9), 2),
         "best_speedup": best,
         "jit_overall_speedup": round(total_ref / max(total_jit, 1e-9), 2),
         "jit_vs_compiled_overall": round(total_new / max(total_jit, 1e-9), 2),
         "best_jit_vs_compiled": max(r["jit_vs_compiled"] for r in runs),
+        "vector_overall_speedup": round(total_ref / max(total_vec, 1e-9), 2),
+        "vector_vs_compiled_overall":
+            round(total_new / max(total_vec, 1e-9), 2),
+        "best_vector_vs_compiled":
+            max(r["vector_vs_compiled"] for r in runs),
     }
     with open(output, "w", encoding="utf-8") as fh:
         json.dump(report, fh, indent=2)
@@ -139,15 +198,36 @@ def main() -> int:
         print("FAIL: cached-dispatch engine not faster than the reference",
               file=sys.stderr)
         return 1
-    if check_floor and report["overall_speedup"] < COMPILED_SPEEDUP_FLOOR:
-        print(f"FAIL: compiled-engine speedup {report['overall_speedup']}x "
-              f"regressed below the {COMPILED_SPEEDUP_FLOOR}x floor",
-              file=sys.stderr)
-        return 1
+    if check_floor:
+        failed = False
+        if report["overall_speedup"] < COMPILED_SPEEDUP_FLOOR:
+            print(f"FAIL: compiled-engine speedup "
+                  f"{report['overall_speedup']}x regressed below the "
+                  f"{COMPILED_SPEEDUP_FLOOR}x floor", file=sys.stderr)
+            failed = True
+        for run in runs:
+            if run["jit_vs_compiled"] < JIT_ROW_FLOOR:
+                print(f"FAIL: jit slower than cached dispatch on "
+                      f"{run['workload']}/{run['flow']} "
+                      f"({run['jit_vs_compiled']}x < {JIT_ROW_FLOOR}x)",
+                      file=sys.stderr)
+                failed = True
+            if (run["workload"], run["flow"]) in VECTOR_STENCIL_ROWS \
+                    and run["vector_vs_compiled"] < VECTOR_STENCIL_FLOOR:
+                print(f"FAIL: vector engine below the "
+                      f"{VECTOR_STENCIL_FLOOR}x stencil floor on "
+                      f"{run['workload']}/{run['flow']} "
+                      f"({run['vector_vs_compiled']}x)", file=sys.stderr)
+                failed = True
+        if failed:
+            return 1
     print(f"OK: cached dispatch {report['overall_speedup']}x overall, "
           f"jit {report['jit_overall_speedup']}x overall "
-          f"({report['jit_vs_compiled_overall']}x over cached dispatch, "
-          f"best {report['best_jit_vs_compiled']}x), engines bit-identical")
+          f"({report['jit_vs_compiled_overall']}x over cached dispatch), "
+          f"vector {report['vector_overall_speedup']}x overall "
+          f"({report['vector_vs_compiled_overall']}x over cached dispatch, "
+          f"best {report['best_vector_vs_compiled']}x), "
+          f"engines bit-identical")
     return 0
 
 

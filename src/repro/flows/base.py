@@ -142,14 +142,16 @@ class OptionsSchema:
 #: Interpreter engines an artifact can be executed on.  ``compiled`` is the
 #: cached-dispatch engine (per-block thunks); ``reference`` is the one-op
 #: reference engine; ``jit`` translates blocks into generated Python source
-#: (:mod:`repro.machine.jit`).  All of them must be observationally
+#: (:mod:`repro.machine.jit`); ``vector`` evaluates matched loop nests as
+#: whole-array numpy expressions with analytically synthesized statistics
+#: (:mod:`repro.machine.vector`).  All of them must be observationally
 #: identical — the conformance oracle runs every kernel on every engine and
 #: diffs the observables bit for bit.  The order matters: the first entry is
 #: the oracle's parity baseline.  Must stay in sync with
 #: ``repro.machine.interpreter.ENGINE_NAMES`` (a module-level import either
 #: way is a cycle through the flang driver; ``tests/flows`` asserts the
 #: sync instead).
-ENGINES = ("compiled", "reference", "jit")
+ENGINES = ("compiled", "reference", "jit", "vector")
 
 
 @dataclass(frozen=True)

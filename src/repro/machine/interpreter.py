@@ -185,12 +185,14 @@ _YIELD_OPS = frozenset({
     "scf.condition", "hlfir.yield_element", "fir.has_value"})
 
 
-#: The three interpreter engines.  ``reference`` executes one op at a time
+#: The four interpreter engines.  ``reference`` executes one op at a time
 #: (string-built getattr dispatch), ``compiled`` caches per-block thunk
 #: lists, ``jit`` translates blocks (and structured loop bodies) into
-#: generated Python source (see :mod:`repro.machine.jit`).  All three are
-#: observationally bit-identical — output and statistics.
-ENGINE_NAMES = ("compiled", "reference", "jit")
+#: generated Python source (see :mod:`repro.machine.jit`), and ``vector``
+#: evaluates matched affine/scf/fir loop nests as whole-array numpy
+#: expressions with analytic statistics (see :mod:`repro.machine.vector`).
+#: All four are observationally bit-identical — output and statistics.
+ENGINE_NAMES = ("compiled", "reference", "jit", "vector")
 
 
 class Interpreter:
@@ -229,6 +231,10 @@ class Interpreter:
             from .jit import JitEngine
             self._jit = JitEngine(self)
             self._run_block = self._jit.run_block
+        elif engine == "vector":
+            from .vector import VectorEngine
+            self._vector = VectorEngine(self)
+            self._run_block = self._vector.run_block
         elif engine == "compiled":
             self._run_block = self._run_block_compiled
         else:

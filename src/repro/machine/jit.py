@@ -14,7 +14,7 @@ re-run on every loop iteration.
 
 Numeric semantics stay centralized: the generated code calls into
 :mod:`repro.machine.semantics` for ``cmpi`` / ``cmpf`` and the integer
-division family, so all three engines share one source of numeric truth;
+division family, so all engines share one source of numeric truth;
 everything the generator cannot translate (parallel regions, calls, runtime
 intrinsics, unstructured control flow) falls back to the exact thunks the
 cached-dispatch engine would run, inside the generated function.  The
@@ -272,11 +272,19 @@ def plan_block(block: Block) -> _Plan:
 
 
 class _Emitter:
-    """Generates the Python source for one planned block."""
+    """Generates the Python source for one planned block.
+
+    The emitted source and every namespace binding except ``_interp`` /
+    ``_stats`` / the fallback thunks are interpreter-independent, so one
+    emission can be instantiated for any number of interpreters (see
+    :func:`compile_block`'s process-level cache).  Interpreter-specific
+    state is rebound per instantiation; fallback ops are recorded as
+    ``(name, op)`` pairs and compiled into thunks at instantiation time."""
 
     def __init__(self, interp: Interpreter, plan: _Plan):
         self.interp = interp
         self.plan = plan
+        self.fallback_binds: List[Tuple[str, Operation]] = []
         # values that must live in env: anything the generated code defines
         # that a non-inline op (fallback thunk, nested region, another block)
         # also reads
@@ -503,8 +511,9 @@ class _Emitter:
 
     # -- fallback ------------------------------------------------------------
     def emit_fallback(self, op: Operation) -> None:
-        thunk = Interpreter._compile_op(self.interp, op, None)
-        self.w(f"{self.bind(thunk, 'f')}(env)")
+        name = f"_f{next(self._seq)}"
+        self.fallback_binds.append((name, op))
+        self.w(f"{name}(env)")
 
     # -- straight-line ops ---------------------------------------------------
     def emit_inline(self, op: Operation) -> None:
@@ -1079,29 +1088,136 @@ class _Emitter:
 # ---------------------------------------------------------------------------
 
 
+#: process-level translation cache: ``(block uid, check stride)`` ->
+#: ``(code object, namespace template, fallback binds, nops, source)``.
+#: The expensive work — planning, source emission, ``compile()`` — happens
+#: once per block per process; every further interpreter only copies the
+#: namespace, rebinds its own ``_interp``/``_stats``/fallback thunks and
+#: ``exec``s the cached code object.  Keyed by the block's uid (unique for
+#: the process lifetime) plus the stride the source hard-codes in its
+#: execution-limit checks.
+_CODE_CACHE: Dict[Tuple[int, int], Tuple] = {}
+_CODE_CACHE_MAX = 4096
+
+
+def _translation_for(interp: Interpreter, block: Block) -> Tuple:
+    key = (block._uid, interp._check_stride)
+    cached = _CODE_CACHE.get(key)
+    if cached is None:
+        plan = plan_block(block)
+        emitter = _Emitter(interp, plan)
+        source, ns = emitter.build()
+        code = compile(source, f"<jit:block{block._uid}>", "exec")
+        template = dict(ns)
+        del template["_interp"], template["_stats"]    # rebound per instance
+        if len(_CODE_CACHE) >= _CODE_CACHE_MAX:
+            _CODE_CACHE.clear()
+        cached = _CODE_CACHE[key] = (
+            code, template, tuple(emitter.fallback_binds),
+            max(1, len(plan.steps)), source)
+    return cached
+
+
 def compile_block(interp: Interpreter, block: Block):
     """Translate ``block`` into one generated function; returns (fn, nops)."""
-    plan = plan_block(block)
-    source, ns = _Emitter(interp, plan).build()
-    code = compile(source, f"<jit:block{block._uid}>", "exec")
+    code, template, fallback_binds, nops, source = \
+        _translation_for(interp, block)
+    ns = dict(template)
+    ns["_interp"] = interp
+    ns["_stats"] = interp.stats
+    for name, op in fallback_binds:
+        ns[name] = Interpreter._compile_op(interp, op, None)
     exec(code, ns)
     fn = ns["_jit_block"]
     fn.__jit_source__ = source
-    return fn, max(1, len(plan.steps))
+    return fn, nops
+
+
+#: entries of a cold block before translation pays for itself; colder
+#: blocks run on the compiled engine's (cheap, cached) thunk lists instead
+_PROMOTE_AFTER = 8
+#: estimated ops per entry above which translation pays off immediately
+_TRANSLATE_WORK = 1024
+
+
+def _static_trips(op: Operation) -> Optional[int]:
+    """Trip count of a loop whose bounds fold at jit-compile time."""
+    if op.name == "affine.for":
+        if op.lower_operands or op.upper_operands:
+            return None
+        lo = op.lower_bound_map.evaluate([])[0]
+        hi = op.upper_bound_map.evaluate([])[0]
+        st = op.step_value
+        if st <= 0:
+            return None
+        return max(0, -((lo - hi) // st))
+    lo = _static_constant(op.operands[0])
+    hi = _static_constant(op.operands[1])
+    st = _static_constant(op.operands[2])
+    if lo is None or hi is None or st is None:
+        return None
+    if op.name == "scf.for":
+        if st <= 0:
+            return None
+        return max(0, -((lo - hi) // st))
+    st = st if st != 0 else 1        # fir.do_loop: inclusive, step 0 -> 1
+    if st > 0:
+        return (hi - lo) // st + 1 if lo <= hi else 0
+    return (lo - hi) // (-st) + 1 if lo >= hi else 0
+
+
+def _estimated_work(block: Block) -> Optional[int]:
+    """Rough op count one entry of ``block`` executes; ``None`` = unknown
+    (a loop with runtime bounds — assume hot)."""
+    total = 0
+    for op in block.ops:
+        if op.name in _INLINE_LOOPS and _loop_inlineable(op):
+            trips = _static_trips(op)
+            inner = _estimated_work(op.regions[0].blocks[0])
+            if trips is None or inner is None:
+                return None
+            total += trips * (inner + 1)
+        else:
+            total += 1
+    return total
+
+
+def _worth_translating(block: Block) -> bool:
+    """Translate on first entry only when one entry amortizes the
+    ``compile()``/``exec`` price: the block's statically estimated
+    per-entry work clears :data:`_TRANSLATE_WORK`, or contains a loop
+    whose bounds only resolve at run time.  Everything colder pays off
+    only when re-entered (:data:`_PROMOTE_AFTER`)."""
+    work = _estimated_work(block)
+    return work is None or work >= _TRANSLATE_WORK
 
 
 class JitEngine:
-    """Per-interpreter cache of generated block functions."""
+    """Per-interpreter cache of generated block functions.
 
-    __slots__ = ("interp", "cache")
+    Translation is tiered: loop-bearing blocks are translated on first
+    entry, anything else runs on the compiled engine's dispatch until it
+    has been entered :data:`_PROMOTE_AFTER` times.  Both tiers are
+    observationally bit-identical, so the mix never shows in stats."""
+
+    __slots__ = ("interp", "cache", "entries")
 
     def __init__(self, interp: Interpreter):
         self.interp = interp
         self.cache: Dict[Block, Tuple] = {}
+        self.entries: Dict[Block, int] = {}
 
     def run_block(self, block: Block, env: Dict) -> Tuple[str, object]:
         entry = self.cache.get(block)
         if entry is None:
+            # a process-cached translation instantiates for pennies — use
+            # it regardless of how cold this block looks to the tiering
+            if (block._uid, self.interp._check_stride) not in _CODE_CACHE \
+                    and not _worth_translating(block):
+                count = self.entries.get(block, 0)
+                if count < _PROMOTE_AFTER:
+                    self.entries[block] = count + 1
+                    return self.interp._run_block_compiled(block, env)
             entry = self.cache[block] = compile_block(self.interp, block)
         fn, nops = entry
         interp = self.interp

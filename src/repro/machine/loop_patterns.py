@@ -1,0 +1,285 @@
+"""Static analysis of structured loop nests for the ``vector`` engine.
+
+:func:`match_nest` inspects an ``scf.for`` / ``affine.for`` /
+``fir.do_loop`` operation and, when every operation in the (possibly
+nested) loop bodies is pure element-wise / reduction / addressing
+dataflow the whole-array evaluator understands, produces a
+:class:`NestPlan`:
+
+* a flattened, program-order list of steps (``enter loop`` / ``body op``
+  / ``exit loop``), each tagged with the loop that directly contains it,
+* per-loop statistics footprints — how many bumps of which
+  :class:`~repro.machine.interpreter.ExecutionStats` category one
+  iteration of that loop contributes — so the engine can synthesize the
+  exact counters the iterative engines would have produced from the trip
+  counts alone, and
+* reduction specs for ``iter_args`` loops restricted to the shapes whose
+  whole-array evaluation is bit-identical to sequential evaluation
+  (integer ``addi``/``muli``, ``maxsi``/``minsi``,
+  ``maximumf``/``minimumf``; float ``addf``/``mulf`` accumulators are
+  *declined* because numpy's pairwise summation is not the sequential
+  sum).
+
+Everything here is static — no environment access, no numpy.  A matched
+plan can still abort at run time (zero trips, runtime-varying bounds,
+aliasing stores); the engine then falls back to the iterative handler
+for that one nest.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..ir import types as ir_types
+from ..ir.core import Operation, Value
+from .interpreter import _FLOAT_BINOPS, _INT_BINOPS, _MATH_UNARY, _YIELD_OPS
+
+#: Loop operations the matcher roots and nests on.
+LOOP_OPS = frozenset({"scf.for", "affine.for", "fir.do_loop"})
+
+_POW_OPS = frozenset({"math.powf", "math.fpowi", "math.ipowi"})
+_FMA_OPS = frozenset({"math.fma", "llvm.intr.fmuladd"})
+_CAST_OPS = frozenset({
+    "arith.index_cast", "arith.sitofp", "arith.fptosi", "arith.extf",
+    "arith.truncf", "arith.extsi", "arith.extui", "arith.trunci",
+    "arith.bitcast"})
+_LOAD_OPS = frozenset({"fir.load", "memref.load", "affine.load"})
+_STORE_OPS = frozenset({"fir.store", "memref.store", "affine.store"})
+_ADDRESS_OPS = frozenset({"fir.array_coor", "hlfir.designate",
+                          "fir.coordinate_of", "affine.apply"})
+_BOX_OPS = frozenset({"fir.box_addr", "fir.box_dims"})
+#: Operations that bind a value but bump no statistics category.
+_FREE_OPS = frozenset({"arith.constant", "fir.undefined", "fir.absent",
+                       "fir.zero_bits"})
+
+#: ``iter_args`` combiners whose whole-array reduction is bit-identical
+#: to the sequential fold (associative over their value domain).
+REDUCE_COMBINERS = frozenset({
+    "arith.addi", "arith.muli", "arith.maxsi", "arith.minsi",
+    "arith.maximumf", "arith.minimumf"})
+
+_SCALAR_TYPES = (ir_types.FloatType, ir_types.IntegerType,
+                 ir_types.IndexType)
+
+
+def _is_scalar_type(t) -> bool:
+    return isinstance(t, _SCALAR_TYPES)
+
+
+def stats_category(op: Operation) -> Optional[str]:
+    """The ExecutionStats category one execution of ``op`` bumps.
+
+    Mirrors the compiled engine's thunk makers for *scalar* operands
+    (matched nest bodies are scalar-typed by construction, so the
+    runtime ndarray branches of those thunks never apply).  ``None``
+    means the op binds a value without bumping anything.
+    """
+    name = op.name
+    if name in _FREE_OPS or name == "fir.string_lit":
+        return None
+    if name in _FLOAT_BINOPS or name == "arith.negf":
+        return "float_arith"
+    if name in _INT_BINOPS:
+        return "index_arith" \
+            if isinstance(op.operands[0].type, ir_types.IndexType) \
+            else "int_arith"
+    if name in _MATH_UNARY or name in _POW_OPS or name == "math.atan2":
+        return "float_math"
+    if name in _FMA_OPS:
+        return "float_fma"
+    if name in ("arith.cmpi", "arith.cmpf"):
+        return "cmp"
+    if name == "arith.select":
+        return "int_arith"
+    if name in _CAST_OPS or name == "fir.convert":
+        return "cast"
+    if name in _LOAD_OPS or name in _BOX_OPS:
+        return "load"
+    if name in _STORE_OPS:
+        return "store"
+    if name in _ADDRESS_OPS:
+        return "index_arith"
+    raise AssertionError(f"unclassified nest op {name}")
+
+
+class Reduction:
+    """One ``iter_args`` accumulator in the restricted reduction shape:
+    ``yield combiner(acc, expr)`` with ``acc`` single-use."""
+
+    __slots__ = ("kind", "expr", "init", "combiner")
+
+    def __init__(self, kind: str, expr: Value, init: Value,
+                 combiner: Operation):
+        self.kind = kind          # combiner op name
+        self.expr = expr          # per-iteration contribution value
+        self.init = init          # initial accumulator operand
+        self.combiner = combiner  # the op itself (skipped during eval)
+
+
+class LoopInfo:
+    """One loop of a matched nest."""
+
+    __slots__ = ("op", "kind", "depth", "parent", "reductions", "body")
+
+    def __init__(self, op: Operation, kind: str, depth: int, parent: int):
+        self.op = op
+        self.kind = kind          # "scf" | "affine" | "fir"
+        self.depth = depth        # number of enclosing nest loops
+        self.parent = parent      # index of enclosing loop, -1 for root
+        self.reductions: List[Reduction] = []
+        self.body = op.regions[0].blocks[0]
+
+
+class NestPlan:
+    """Static evaluation plan for one matched loop nest.
+
+    ``steps`` entries are ``("loop", index)``, ``("end", index)`` or
+    ``("op", operation, depth, owner_loop_index)`` in program order.
+    ``cat_counts[i]`` / ``tops[i]`` are the per-iteration stats footprint
+    of loop ``i`` (categories bumped, total_ops increments) covering the
+    loop's own ``loop_iter`` tick and every body op directly inside it.
+    """
+
+    __slots__ = ("root", "loops", "steps", "cat_counts", "tops")
+
+    def __init__(self, root: Operation):
+        self.root = root
+        self.loops: List[LoopInfo] = []
+        self.steps: List[Tuple] = []
+        self.cat_counts: List[Dict[str, int]] = []
+        self.tops: List[int] = []
+
+
+def _loop_kind(name: str) -> str:
+    return {"scf.for": "scf", "affine.for": "affine",
+            "fir.do_loop": "fir"}[name]
+
+
+def _iter_operands(op: Operation) -> List[Value]:
+    """The initial accumulator operands of a loop op."""
+    if op.name == "affine.for":
+        return list(op.iter_args)
+    return list(op.operands[3:])
+
+
+def _defining_op(value: Value) -> Optional[Operation]:
+    return getattr(value, "op", None)
+
+
+def _match_reductions(info: LoopInfo, inits: List[Value],
+                      terminator: Operation) -> bool:
+    """Recognize every iter_arg as a restricted reduction; False declines."""
+    body = info.body
+    carried = list(body.args[1:])
+    if len(terminator.operands) != len(carried):
+        return False
+    for arg, init, yielded in zip(carried, inits, terminator.operands):
+        combiner = _defining_op(yielded)
+        if combiner is None or combiner.parent is not body \
+                or combiner.name not in REDUCE_COMBINERS:
+            return False
+        if len(arg.uses) != 1 or len(yielded.uses) != 1:
+            return False
+        a, b = combiner.operands[0], combiner.operands[1]
+        if a is arg and b is not arg:
+            expr = b
+        elif b is arg and a is not arg:
+            expr = a
+        else:
+            return False
+        if expr in carried:
+            return False
+        info.reductions.append(
+            Reduction(combiner.name, expr, init, combiner))
+    return True
+
+
+def _supported_body_op(op: Operation) -> bool:
+    """Per-op admission check (loop ops handled by the caller)."""
+    name = op.name
+    if op.regions or op.successors:
+        return False
+    if name in _FREE_OPS or name == "fir.convert":
+        return True
+    if name in _LOAD_OPS or name in _STORE_OPS or name in _BOX_OPS:
+        return True
+    if name == "fir.coordinate_of":
+        return op.get_attr("field") is None and len(op.operands) <= 2
+    if name == "hlfir.designate":
+        return op.component is None and not op.triplets
+    if name in ("fir.array_coor", "affine.apply"):
+        return True
+    if name in _FLOAT_BINOPS or name in _INT_BINOPS or name in _MATH_UNARY \
+            or name in _POW_OPS or name in _FMA_OPS \
+            or name in ("arith.cmpi", "arith.cmpf", "arith.select",
+                        "arith.negf", "math.atan2") or name in _CAST_OPS:
+        # pure scalar dataflow only: vector-typed (e.g. vector<4xf64>)
+        # operands/results would make the per-op runtime stats category
+        # diverge from the static synthesis, so they decline the nest
+        return all(_is_scalar_type(v.type) for v in op.operands) \
+            and all(_is_scalar_type(r.type) for r in op.results)
+    return False
+
+
+def _walk(plan: NestPlan, loop_op: Operation, depth: int,
+          parent: int) -> bool:
+    """Admit ``loop_op`` and its body into the plan; False declines all."""
+    region = loop_op.regions[0] if loop_op.regions else None
+    if region is None or len(region.blocks) != 1:
+        return False
+    if loop_op.name != "affine.for" and len(loop_op.operands) < 3:
+        return False
+    info = LoopInfo(loop_op, _loop_kind(loop_op.name), depth, parent)
+    index = len(plan.loops)
+    plan.loops.append(info)
+    plan.cat_counts.append({"loop_iter": 1})
+    plan.tops.append(1)
+    plan.steps.append(("loop", index))
+
+    body = info.body
+    inits = _iter_operands(loop_op)
+    if len(body.args) != 1 + len(inits):
+        return False
+    ops = body.ops
+    if not ops:
+        return False
+    terminator = ops[-1]
+    if terminator.name not in _YIELD_OPS:
+        return False
+    if inits and not _match_reductions(info, inits, terminator):
+        return False
+    if not inits and terminator.operands:
+        return False
+
+    skip = {red.combiner for red in info.reductions}
+    for op in ops[:-1]:
+        if op.name in LOOP_OPS:
+            if not _walk(plan, op, depth + 1, index):
+                return False
+            continue
+        if not _supported_body_op(op):
+            return False
+        category = stats_category(op)
+        if category is not None:
+            plan.cat_counts[index][category] = \
+                plan.cat_counts[index].get(category, 0) + 1
+            plan.tops[index] += 1
+        if op not in skip:
+            plan.steps.append(("op", op, depth + 1, index))
+    plan.steps.append(("end", index))
+    return True
+
+
+def match_nest(loop_op: Operation) -> Optional[NestPlan]:
+    """A :class:`NestPlan` when the nest is statically admissible, else
+    ``None`` (the caller keeps the iterative handler for the op)."""
+    if loop_op.name not in LOOP_OPS:
+        return None
+    plan = NestPlan(loop_op)
+    if not _walk(plan, loop_op, 0, -1):
+        return None
+    return plan
+
+
+__all__ = ["LOOP_OPS", "REDUCE_COMBINERS", "LoopInfo", "NestPlan",
+           "Reduction", "match_nest", "stats_category"]

@@ -1,0 +1,1001 @@
+"""The ``vector`` execution engine: whole-array numpy evaluation of loop nests.
+
+Blocks compile exactly like the ``compiled`` engine — a cached list of
+thunks — except that a structured loop (``scf.for`` / ``affine.for`` /
+``fir.do_loop``) whose nest :func:`~repro.machine.loop_patterns.match_nest`
+admits becomes a single :class:`_NestThunk`.  Invoking the thunk evaluates
+the *entire* nest as one batch of numpy array operations:
+
+* each loop's induction variable becomes an ``np.arange`` grid reshaped to
+  its own broadcast axis (axis == loop depth), so an N-deep nest evaluates
+  its body once over N-dimensional arrays instead of once per iteration;
+* loads gather, stores scatter, ``iter_args`` accumulators reduce with the
+  matching ufunc (restricted to combiners whose whole-array fold is
+  bit-identical to the sequential one);
+* ``cmpi``/``cmpf``/``divsi``/``remsi`` run through the same
+  :mod:`~repro.machine.semantics` kernels the iterative engines use, so
+  div-by-zero → 0, NaN-aware comparisons and two's-complement wrap are
+  preserved element-wise;
+* ``ExecutionStats`` are synthesized analytically from the trip counts and
+  the plan's per-loop category footprint — bit-identical to what the
+  iterative engines would have counted, without executing any Python
+  per-iteration work.
+
+Evaluation is all-or-nothing: gathers/compute/validation are side-effect
+free, and only a fully validated nest commits its scatters, cell updates,
+stats and loop results.  Any guard failure — zero or runtime-varying trip
+counts, aliased or non-injective stores, a value shape the evaluator cannot
+prove — raises the private :class:`_Abort` and the nest falls back to the
+iterative handler *for that invocation only* (after a few consecutive
+aborts the site pins itself to the iterative path).  Fallback re-enters
+this engine for inner blocks, so unmatched outer loops still vectorize
+their inner nests.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..ir import types as ir_types
+from .interpreter import (
+    _FLOAT_BINOPS, _FUSED_WITH_NEXT, _INT_BINOPS, _MATH_UNARY,
+    Interpreter)
+from .loop_patterns import _CAST_OPS, LOOP_OPS, match_nest
+from .semantics import (
+    CMPF, CMPI_SIGNED, CMPI_UNSIGNED, as_unsigned, int_width)
+from .values import Cell, ElementPtr, FortranArray
+
+#: Consecutive aborts after which a nest site stops re-trying whole-array
+#: evaluation and pins itself to the iterative handler.
+_MAX_ABORTS = 3
+#: Upper bound on the element count of any broadcast grid; nests larger
+#: than this fall back (guards memory blow-up on huge trip products).
+_MAX_ELEMENTS = 1 << 22
+
+_POW_OPS = frozenset({"math.powf", "math.fpowi", "math.ipowi"})
+_FMA_OPS = frozenset({"math.fma", "llvm.intr.fmuladd"})
+
+
+class _Abort(Exception):
+    """Internal: whole-array evaluation declined; fall back iteratively."""
+
+
+def _scalarizer_for(value):
+    """How the per-iteration engines would have *typed* this stored value.
+
+    A value produced by an ``arith`` cast is a Python ``float``/``int``/
+    ``bool`` per iteration (``fir.convert`` has no bool case); everything
+    else keeps whatever numpy scalar the grid element already is.  Used
+    when finalizing a Cell from the last grid element.
+    """
+    op = getattr(value, "op", None)
+    if op is None:
+        return None
+    name = op.name
+    if name in _CAST_OPS:
+        t = op.results[0].type
+        if isinstance(t, ir_types.FloatType):
+            return float
+        if isinstance(t, ir_types.IntegerType) and t.width == 1:
+            return bool
+        if isinstance(t, (ir_types.IntegerType, ir_types.IndexType)):
+            return int
+    elif name == "fir.convert":
+        t = op.results[0].type
+        if isinstance(t, ir_types.FloatType):
+            return float
+        if isinstance(t, (ir_types.IntegerType, ir_types.IndexType)):
+            return int
+    return None
+
+
+class _Ref:
+    """A deferred element reference (the whole-array ElementPtr analogue).
+
+    ``kind`` is ``"fa"`` (FortranArray + flat offset grid), ``"nd"``
+    (ndarray + per-axis index grids), ``"ndflat"`` (ndarray + flat offset)
+    or ``"cell"`` (a Cell; idx unused).
+    """
+
+    __slots__ = ("kind", "base", "idx")
+
+    def __init__(self, kind: str, base, idx=None):
+        self.kind = kind
+        self.base = base
+        self.idx = idx
+
+
+class _Store:
+    """One deferred scatter: normalized flat positions + cast values."""
+
+    __slots__ = ("seq", "key", "target", "comps", "nidx", "value", "lost",
+                 "full")
+
+    def __init__(self, seq, key, target, comps, nidx, value, lost, full):
+        self.seq = seq
+        self.key = key
+        self.target = target    # ndarray to assign into at commit
+        self.comps = comps      # per-axis normalized indices, or None (flat)
+        self.nidx = nidx        # normalized flat positions (hazard space)
+        self.value = value
+        self.lost = lost        # write into a non-view copy: silently dropped
+        #: the index pattern spans the whole enclosing iteration subspace —
+        #: together with the uniqueness check, every nest iteration writes a
+        #: *distinct* location, so no location is ever revisited
+        self.full = full
+
+
+class _NestEval:
+    """One side-effect-free whole-array evaluation of a matched nest."""
+
+    def __init__(self, interp: Interpreter, plan, env: Dict):
+        self.interp = interp
+        self.plan = plan
+        self.env = env
+        self.vals: Dict = {}
+        #: ids of ndarrays this evaluation created as broadcast grids; any
+        #: *other* ndarray reaching arithmetic is a foreign value we cannot
+        #: prove scalar-per-iteration, so alignment aborts on it
+        self.grid_ids = set()
+        self.iv_ids = set()
+        self.path: List[int] = []       # loop indices from root to here
+        self.shape: List[int] = []      # trip counts along self.path
+        self.numel = 1
+        self.rt_trips: List[int] = [0] * len(plan.loops)
+        self.rt_inits: List[List] = [None] * len(plan.loops)
+        self.rt_final_iv: List[int] = [0] * len(plan.loops)
+        self.seq = 0
+        self.stores: List[_Store] = []
+        self.pending: Dict[int, List[_Store]] = {}
+        self.loads: List[Tuple[int, int, np.ndarray]] = []
+        self.bufs: Dict[int, np.ndarray] = {}
+        self.cell_binds: Dict[int, Tuple] = {}
+        self.cell_events: List[Tuple[int, bool, int]] = []
+        self.root_results: List[Tuple] = []
+
+    # ------------------------------------------------------------------ driving
+    def run(self) -> None:
+        for step in self.plan.steps:
+            tag = step[0]
+            if tag == "op":
+                self._op(step[1], step[2])
+            elif tag == "loop":
+                self._enter(step[1])
+            else:
+                self._exit(step[1])
+        self._validate()
+
+    # ------------------------------------------------------------------ values
+    def value(self, v):
+        vals = self.vals
+        if v in vals:
+            return vals[v]
+        return self.env[v]
+
+    def _set(self, v, x) -> None:
+        if isinstance(x, np.ndarray):
+            self.grid_ids.add(id(x))
+        self.vals[v] = x
+
+    def _align(self, x, d: int):
+        """Pad a grid with trailing unit axes up to broadcast depth ``d``."""
+        if isinstance(x, np.ndarray):
+            if id(x) not in self.grid_ids:
+                raise _Abort
+            nd = x.ndim
+            if nd > d:
+                raise _Abort
+            if nd < d:
+                return x.reshape(x.shape + (1,) * (d - nd))
+        return x
+
+    def _scalar_int(self, v) -> int:
+        x = self.value(v)
+        if isinstance(x, np.ndarray):
+            raise _Abort        # runtime-varying (grid) loop bound
+        return int(x)
+
+    def _int_like(self, x):
+        """Index component as the iterative ``int(...)`` would produce."""
+        if isinstance(x, np.ndarray):
+            if x.dtype.kind not in "iub":
+                raise _Abort
+            return x if x.dtype == np.int64 else x.astype(np.int64)
+        return int(x)
+
+    def _int_grid(self, x: np.ndarray) -> np.ndarray:
+        """Grid equivalent of per-element ``int(...)`` (trunc, guarded)."""
+        if x.dtype.kind == "f":
+            if not np.all(np.isfinite(x)) or np.any(np.abs(x) >= 2 ** 63):
+                raise _Abort    # per-iteration int() would raise
+            return x.astype(np.int64)
+        return x.astype(np.int64)
+
+    # ------------------------------------------------------------------ loops
+    def _enter(self, index: int) -> None:
+        info = self.plan.loops[index]
+        op = info.op
+        if info.kind == "affine":
+            lops = [self._scalar_int(v) for v in op.lower_operands]
+            uops = [self._scalar_int(v) for v in op.upper_operands]
+            lo = op.lower_bound_map.evaluate(lops)[0]
+            hi = op.upper_bound_map.evaluate(uops)[0]
+            st = op.step_value
+            if st <= 0:
+                raise _Abort    # iterative engine would not terminate
+            trips = -((lo - hi) // st) if hi > lo else 0
+            adv = st
+        else:
+            lo = self._scalar_int(op.operands[0])
+            hi = self._scalar_int(op.operands[1])
+            st = self._scalar_int(op.operands[2])
+            if info.kind == "scf":
+                # exclusive bound; non-positive step runs exactly once
+                if lo >= hi:
+                    trips = 0
+                elif st <= 0:
+                    trips = 1
+                else:
+                    trips = -((lo - hi) // st)
+                adv = st if st > 0 else 0
+            else:
+                # fir.do_loop: inclusive bound, step 0 behaves as 1
+                adv = st if st != 0 else 1
+                if adv > 0:
+                    trips = (hi - lo) // adv + 1 if lo <= hi else 0
+                else:
+                    trips = (lo - hi) // (-adv) + 1 if lo >= hi else 0
+                self.rt_final_iv[index] = lo + trips * adv
+        if trips <= 0:
+            raise _Abort        # zero-trip: iterate (nothing to batch)
+        if self.numel * trips > _MAX_ELEMENTS:
+            raise _Abort
+        self.rt_trips[index] = trips
+        depth = len(self.path)
+        iv = np.arange(trips, dtype=np.int64)
+        if adv != 1:
+            iv = iv * adv
+        if lo != 0:
+            iv = iv + lo
+        iv = iv.reshape((1,) * depth + (trips,))
+        self.path.append(index)
+        self.shape.append(trips)
+        self.numel *= trips
+        body = info.body
+        self._set(body.args[0], iv)
+        self.iv_ids.add(id(iv))
+        self.rt_inits[index] = [self.value(red.init)
+                                for red in info.reductions]
+
+    def _exit(self, index: int) -> None:
+        info = self.plan.loops[index]
+        trips = self.shape.pop()
+        self.path.pop()
+        self.numel //= trips
+        results = []
+        if info.kind == "fir":
+            results.append(self.rt_final_iv[index])
+        for red, init in zip(info.reductions, self.rt_inits[index]):
+            results.append(self._reduce(red, init, trips))
+        if info.parent < 0:
+            self.root_results = list(zip(info.op.results, results))
+        else:
+            for res, val in zip(info.op.results, results):
+                self._set(res, val)
+
+    def _reduce(self, red, init, trips: int):
+        kind = red.kind
+        e = self.value(red.expr)
+        outer = len(self.shape)
+        if isinstance(e, np.ndarray):
+            full = tuple(self.shape) + (trips,)
+            eb = np.broadcast_to(self._align(e, outer + 1), full)
+            if eb.dtype.kind == "b":
+                raise _Abort
+            if kind == "arith.addi":
+                r = np.add.reduce(eb, axis=-1, dtype=eb.dtype)
+            elif kind == "arith.muli":
+                r = np.multiply.reduce(eb, axis=-1, dtype=eb.dtype)
+            elif kind in ("arith.maxsi", "arith.maximumf"):
+                r = np.maximum.reduce(eb, axis=-1)
+            else:
+                r = np.minimum.reduce(eb, axis=-1)
+            ia = self._align(init, outer)
+            if kind == "arith.addi":
+                out = ia + r
+            elif kind == "arith.muli":
+                out = ia * r
+            elif kind in ("arith.maxsi", "arith.maximumf"):
+                out = np.maximum(ia, r)
+            else:
+                out = np.minimum(ia, r)
+            if isinstance(out, np.ndarray):
+                self.grid_ids.add(id(out))
+            return out
+        # invariant per-iteration contribution
+        if isinstance(init, np.ndarray):
+            raise _Abort
+        if kind in ("arith.maxsi", "arith.minsi"):
+            # idempotent: folding an invariant t times == folding it once
+            return max(init, e) if kind == "arith.maxsi" else min(init, e)
+        if kind in ("arith.maximumf", "arith.minimumf"):
+            return np.maximum(init, e) if kind == "arith.maximumf" \
+                else np.minimum(init, e)
+        # exact only in unbounded Python ints; numpy scalars would wrap
+        if not isinstance(init, int) or isinstance(init, bool) \
+                or not isinstance(e, int) or isinstance(e, bool):
+            raise _Abort
+        if kind == "arith.addi":
+            return init + e * trips
+        if e not in (-1, 0, 1) and trips > 64:
+            raise _Abort        # muli blow-up: fall back
+        return init * e ** trips
+
+    # ------------------------------------------------------------------ cells
+    def _cell_load(self, cell: Cell, d: int):
+        self.seq += 1
+        bind = self.cell_binds.get(id(cell))
+        # a load whose binding is not pointwise-exact for the current path
+        # *broadcasts* one value across loop axes; that is only sound when
+        # no later store rebinds the cell (validated against cell_events)
+        full = bind is not None and bind[2] == tuple(self.path)
+        self.cell_events.append((self.seq, False, id(cell), full))
+        if bind is None:
+            return cell.value
+        value, path = bind[1], bind[2]
+        if not isinstance(value, np.ndarray):
+            return value
+        prefix = 0
+        for a, b in zip(path, self.path):
+            if a != b:
+                break
+            prefix += 1
+        bound_depth = len(path)
+        v = self._align(value, bound_depth)
+        if bound_depth > prefix:
+            # axes beyond the common prefix re-ran to completion before
+            # this read: the last write along them is the visible one
+            v = v[(Ellipsis,) + (-1,) * (bound_depth - prefix)]
+        return v
+
+    def _cell_store(self, cell: Cell, value, op) -> None:
+        if isinstance(value, _Ref):
+            raise _Abort
+        self.seq += 1
+        self.cell_events.append((self.seq, True, id(cell), True))
+        self.cell_binds[id(cell)] = (
+            cell, value, tuple(self.path), _scalarizer_for(op.operands[0]))
+
+    # ------------------------------------------------------------------ memory
+    def _register_base(self, key: int, buf: np.ndarray) -> None:
+        if key not in self.bufs:
+            self.bufs[key] = buf
+
+    def _flat_parts(self, ref: _Ref, d: int):
+        """(key, buffer, normalized flat idx, raw idx array) for fa/ndflat."""
+        if ref.kind == "fa":
+            buf = ref.base.data
+        else:
+            buf = ref.base.reshape(-1)
+        idx = self._align(ref.idx, d)
+        ia = np.asarray(idx)
+        if ia.dtype.kind not in "iu":
+            raise _Abort
+        return id(ref.base), buf, ia.astype(np.int64), ia
+
+    def _gather(self, ref: _Ref, d: int):
+        kind = ref.kind
+        if kind == "cell":
+            return self._cell_load(ref.base, d)
+        if kind in ("fa", "ndflat"):
+            key, buf, nflat, ia = self._flat_parts(ref, d)
+            value = buf[ia if ia.ndim else int(ia)]
+            nflat = nflat % buf.size
+        else:
+            base = ref.base
+            if len(ref.idx) != base.ndim:
+                raise _Abort
+            key = id(base)
+            buf = base
+            aligned = [np.asarray(self._align(c, d)) for c in ref.idx]
+            for c in aligned:
+                if c.dtype.kind not in "iu":
+                    raise _Abort
+            value = base[tuple(a if a.ndim else int(a) for a in aligned)]
+            if aligned:
+                normed = [a.astype(np.int64) % s
+                          for a, s in zip(aligned, base.shape)]
+                normed = np.broadcast_arrays(*normed)
+                nflat = np.ravel_multi_index(tuple(normed), base.shape)
+            else:
+                nflat = np.zeros((), dtype=np.int64)
+        nflat = np.asarray(nflat)
+        recs = self.pending.get(key)
+        if recs:
+            nshape = nflat.shape
+            for rec in reversed(recs):
+                if rec.lost:
+                    continue
+                if rec.nidx.shape == nshape \
+                        and np.array_equal(rec.nidx, nflat):
+                    value = rec.value    # forward the pending write
+                    break
+                if np.intersect1d(rec.nidx.ravel(), nflat.ravel()).size:
+                    raise _Abort         # partial overlap: order-dependent
+        self.seq += 1
+        self.loads.append((self.seq, key, nflat))
+        self._register_base(key, buf)
+        if isinstance(value, np.ndarray):
+            self.grid_ids.add(id(value))
+        return value
+
+    def _cast_store_value(self, value, buf: np.ndarray) -> np.ndarray:
+        v = np.asarray(value)
+        if v.dtype == buf.dtype:
+            return v
+        if v.dtype.kind not in "iufb":
+            raise _Abort
+        if buf.dtype.kind in "iu" and v.dtype.kind == "f":
+            # per-iteration assignment would raise on non-finite / huge
+            if not np.all(np.isfinite(v)) or np.any(np.abs(v) >= 2 ** 63):
+                raise _Abort
+        return v.astype(buf.dtype)
+
+    def _scatter(self, ref: _Ref, value, d: int, op) -> None:
+        kind = ref.kind
+        if kind == "cell":
+            self._cell_store(ref.base, value, op)
+            return
+        if isinstance(value, _Ref):
+            raise _Abort
+        value = self._align(value, d)
+        if kind in ("fa", "ndflat"):
+            key, buf, nflat, _ = self._flat_parts(ref, d)
+            size = buf.size
+            if np.any(nflat >= size) or np.any(nflat < -size):
+                raise _Abort     # iterative store would raise IndexError
+            nflat = nflat % size
+            lost = ref.kind == "ndflat" \
+                and not np.shares_memory(buf, ref.base)
+            cast = self._cast_store_value(value, buf)
+            nb, vb = np.broadcast_arrays(nflat, cast)
+            rec = _Store(self._next_seq(), key, buf, None,
+                         np.asarray(nb), np.asarray(vb), lost,
+                         np.asarray(nb).size == self.numel)
+        else:
+            base = ref.base
+            if len(ref.idx) != base.ndim:
+                raise _Abort
+            key = id(base)
+            buf = base
+            aligned = [np.asarray(self._align(c, d)) for c in ref.idx]
+            normed = []
+            for a, s in zip(aligned, base.shape):
+                if a.dtype.kind not in "iu":
+                    raise _Abort
+                if np.any(a >= s) or np.any(a < -s):
+                    raise _Abort
+                normed.append(a.astype(np.int64) % s)
+            cast = self._cast_store_value(value, base)
+            parts = np.broadcast_arrays(*normed, cast)
+            comps, vb = tuple(parts[:-1]), parts[-1]
+            if comps:
+                nflat = np.ravel_multi_index(comps, base.shape)
+            else:
+                nflat = np.zeros((), dtype=np.int64)
+            rec = _Store(self._next_seq(), key, base, comps,
+                         np.asarray(nflat), np.asarray(vb), False,
+                         np.asarray(nflat).size == self.numel)
+        self._register_base(key, buf if kind != "nd" else base)
+        self.stores.append(rec)
+        self.pending.setdefault(key, []).append(rec)
+
+    def _next_seq(self) -> int:
+        self.seq += 1
+        return self.seq
+
+    def _ref_of_ptr(self, ptr: ElementPtr) -> _Ref:
+        arr = ptr.array
+        if isinstance(arr, Cell):
+            return _Ref("cell", arr)
+        if isinstance(arr, FortranArray):
+            flat = ptr.flat if ptr.flat is not None \
+                else arr.flat_index(ptr.indices)
+            return _Ref("fa", arr, flat)
+        if isinstance(arr, np.ndarray):
+            if ptr.flat is not None:
+                return _Ref("ndflat", arr, ptr.flat)
+            return _Ref("nd", arr, tuple(int(i) for i in ptr.indices))
+        raise _Abort
+
+    # ------------------------------------------------------------------ body ops
+    def _op(self, op, d: int) -> None:
+        name = op.name
+        if name in _INT_BINOPS:
+            a = self._align(self.value(op.operands[0]), d)
+            b = self._align(self.value(op.operands[1]), d)
+            if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+                if name == "arith.maxsi":
+                    r = np.maximum(a, b)
+                elif name == "arith.minsi":
+                    r = np.minimum(a, b)
+                elif name == "arith.andi":
+                    r = a & b
+                elif name == "arith.ori":
+                    r = a | b
+                elif name == "arith.xori":
+                    r = a ^ b
+                else:
+                    r = _INT_BINOPS[name](a, b)
+            else:
+                r = _INT_BINOPS[name](a, b)
+            self._set(op.results[0], r)
+        elif name in _FLOAT_BINOPS:
+            a = self._align(self.value(op.operands[0]), d)
+            b = self._align(self.value(op.operands[1]), d)
+            self._set(op.results[0], _FLOAT_BINOPS[name](a, b))
+        elif name == "fir.load":
+            src = self.value(op.operands[0])
+            t = type(src)
+            if t is Cell:
+                r = self._cell_load(src, d)
+            elif t is _Ref:
+                r = self._gather(src, d)
+            elif t is ElementPtr:
+                r = self._gather(self._ref_of_ptr(src), d)
+            else:
+                r = src
+            self._set(op.results[0], r)
+        elif name == "fir.store":
+            value = self.value(op.operands[0])
+            dest = self.value(op.operands[1])
+            t = type(dest)
+            if t is Cell:
+                self._cell_store(dest, value, op)
+            elif t is _Ref:
+                self._scatter(dest, value, d, op)
+            elif t is ElementPtr:
+                self._scatter(self._ref_of_ptr(dest), value, d, op)
+            else:
+                raise _Abort     # iterative handler raises InterpreterError
+        elif name in ("fir.array_coor", "hlfir.designate"):
+            base = self.value(op.memref)
+            if name == "hlfir.designate" and type(base) is Cell:
+                base = base.value
+            comps = [self._int_like(self._align(self.value(v), d))
+                     for v in op.indices]
+            self._set(op.results[0], self._mk_ref(base, comps))
+        elif name == "fir.coordinate_of":
+            base = self.value(op.operands[0])
+            if len(op.operands) > 1:
+                flat = self._int_like(
+                    self._align(self.value(op.operands[1]), d))
+            else:
+                flat = 0
+            if isinstance(base, FortranArray):
+                ref = _Ref("fa", base, flat)
+            elif isinstance(base, np.ndarray):
+                if id(base) in self.grid_ids:
+                    raise _Abort
+                ref = _Ref("ndflat", base, flat)
+            elif isinstance(base, Cell):
+                ref = _Ref("cell", base)
+            else:
+                raise _Abort
+            self._set(op.results[0], ref)
+        elif name == "memref.load":
+            mem = self.value(op.operands[0])
+            if type(mem) is Cell:
+                r = self._cell_load(mem, d)
+            else:
+                if not isinstance(mem, np.ndarray) \
+                        or id(mem) in self.grid_ids:
+                    raise _Abort
+                comps = tuple(self._int_like(self._align(self.value(v), d))
+                              for v in op.operands[1:])
+                if not comps and mem.ndim == 0:
+                    r = self._gather(_Ref("ndflat", mem, 0), d)
+                else:
+                    r = self._gather(_Ref("nd", mem, comps), d)
+            self._set(op.results[0], r)
+        elif name == "memref.store":
+            value = self.value(op.operands[0])
+            mem = self.value(op.operands[1])
+            if type(mem) is Cell:
+                self._cell_store(mem, value, op)
+            else:
+                if not isinstance(mem, np.ndarray) \
+                        or id(mem) in self.grid_ids:
+                    raise _Abort
+                comps = tuple(self._int_like(self._align(self.value(v), d))
+                              for v in op.operands[2:])
+                if not comps and mem.ndim == 0:
+                    self._scatter(_Ref("ndflat", mem, 0), value, d, op)
+                else:
+                    self._scatter(_Ref("nd", mem, comps), value, d, op)
+        elif name == "affine.load":
+            mem = self.value(op.operands[0])
+            comps = [self._int_like(self._align(self.value(v), d))
+                     for v in op.operands[1:]]
+            indices = op.get_attr("map").evaluate(comps)
+            if type(mem) is Cell:
+                r = self._cell_load(mem, d)
+            else:
+                if not isinstance(mem, np.ndarray) \
+                        or id(mem) in self.grid_ids:
+                    raise _Abort
+                if not indices and mem.ndim == 0:
+                    r = self._gather(_Ref("ndflat", mem, 0), d)
+                else:
+                    r = self._gather(_Ref("nd", mem, tuple(indices)), d)
+            self._set(op.results[0], r)
+        elif name == "affine.store":
+            value = self.value(op.operands[0])
+            mem = self.value(op.operands[1])
+            comps = [self._int_like(self._align(self.value(v), d))
+                     for v in op.operands[2:]]
+            indices = op.get_attr("map").evaluate(comps)
+            if type(mem) is Cell:
+                self._cell_store(mem, value, op)
+            else:
+                if not isinstance(mem, np.ndarray) \
+                        or id(mem) in self.grid_ids:
+                    raise _Abort
+                if not indices and mem.ndim == 0:
+                    self._scatter(_Ref("ndflat", mem, 0), value, d, op)
+                else:
+                    self._scatter(_Ref("nd", mem, tuple(indices)),
+                                  value, d, op)
+        elif name == "affine.apply":
+            comps = [self._int_like(self._align(self.value(v), d))
+                     for v in op.operands]
+            r = op.get_attr("map").evaluate(comps)[0]
+            self._set(op.results[0], r)
+        elif name == "arith.constant":
+            self.vals[op.results[0]] = op.get_attr("value").value
+        elif name == "arith.cmpi":
+            predicate = op.get_attr("predicate").value
+            a = self._align(self.value(op.operands[0]), d)
+            b = self._align(self.value(op.operands[1]), d)
+            fn = CMPI_SIGNED.get(predicate)
+            if fn is not None:
+                r = fn(a, b)
+            else:
+                width = int_width(op.operands[0].type)
+                r = CMPI_UNSIGNED[predicate](as_unsigned(a, width),
+                                             as_unsigned(b, width))
+            self._set(op.results[0], r)
+        elif name == "arith.cmpf":
+            fn = CMPF[op.get_attr("predicate").value]
+            a = self._align(self.value(op.operands[0]), d)
+            b = self._align(self.value(op.operands[1]), d)
+            self._set(op.results[0], fn(a, b))
+        elif name == "arith.select":
+            c = self._align(self.value(op.operands[0]), d)
+            a = self._align(self.value(op.operands[1]), d)
+            b = self._align(self.value(op.operands[2]), d)
+            if isinstance(c, np.ndarray):
+                self._set(op.results[0], self._where(c, a, b))
+            else:
+                self._set(op.results[0], a if c else b)
+        elif name in _CAST_OPS:
+            x = self._align(self.value(op.operands[0]), d)
+            target = op.results[0].type
+            if isinstance(x, np.ndarray):
+                if isinstance(target, ir_types.FloatType):
+                    r = x.astype(np.float64)
+                elif isinstance(target, ir_types.IntegerType) \
+                        and target.width == 1:
+                    r = x.astype(bool)
+                elif isinstance(target, (ir_types.IntegerType,
+                                         ir_types.IndexType)):
+                    r = self._int_grid(x)
+                else:
+                    r = x
+            else:
+                if isinstance(target, ir_types.FloatType):
+                    r = float(x)
+                elif isinstance(target, ir_types.IntegerType) \
+                        and target.width == 1:
+                    r = bool(x)
+                elif isinstance(target, (ir_types.IntegerType,
+                                         ir_types.IndexType)):
+                    r = int(x)
+                else:
+                    r = x
+            self._set(op.results[0], r)
+        elif name == "fir.convert":
+            x = self.value(op.operands[0])
+            target = op.results[0].type
+            if isinstance(x, np.ndarray) and id(x) in self.grid_ids:
+                x = self._align(x, d)
+                if isinstance(target, ir_types.FloatType):
+                    r = x.astype(np.float64)
+                elif isinstance(target, (ir_types.IntegerType,
+                                         ir_types.IndexType)):
+                    r = self._int_grid(x)
+                else:
+                    r = x
+            elif isinstance(x, (Cell, FortranArray, ElementPtr,
+                                np.ndarray, _Ref)):
+                r = x
+            elif isinstance(target, ir_types.FloatType):
+                r = float(x)
+            elif isinstance(target, (ir_types.IntegerType,
+                                     ir_types.IndexType)):
+                r = int(x)
+            else:
+                r = x
+            self._set(op.results[0], r)
+        elif name in _MATH_UNARY:
+            x = self._align(self.value(op.operands[0]), d)
+            self._set(op.results[0], _MATH_UNARY[name](x))
+        elif name in _POW_OPS:
+            a = self._align(self.value(op.operands[0]), d)
+            b = self._align(self.value(op.operands[1]), d)
+            self._set(op.results[0], a ** b)
+        elif name in _FMA_OPS:
+            a = self._align(self.value(op.operands[0]), d)
+            b = self._align(self.value(op.operands[1]), d)
+            c = self._align(self.value(op.operands[2]), d)
+            self._set(op.results[0], a * b + c)
+        elif name == "math.atan2":
+            a = self._align(self.value(op.operands[0]), d)
+            b = self._align(self.value(op.operands[1]), d)
+            self._set(op.results[0], np.arctan2(a, b))
+        elif name == "arith.negf":
+            x = self._align(self.value(op.operands[0]), d)
+            self._set(op.results[0], -x)
+        elif name == "fir.box_addr":
+            self._set(op.results[0], self.value(op.operands[0]))
+        elif name == "fir.box_dims":
+            box = self.value(op.operands[0])
+            dim = self.value(op.operands[1])
+            if isinstance(dim, np.ndarray) \
+                    or (isinstance(box, np.ndarray)
+                        and id(box) in self.grid_ids):
+                raise _Abort
+            dim = int(dim)
+            shape = box.shape \
+                if isinstance(box, (FortranArray, np.ndarray)) else (1,)
+            self._set(op.results[0], 1)
+            self._set(op.results[1],
+                      int(shape[dim]) if dim < len(shape) else 1)
+            self._set(op.results[2], 1)
+        elif name in ("fir.undefined", "fir.absent", "fir.zero_bits"):
+            self.vals[op.results[0]] = 0
+        else:
+            raise _Abort
+
+    def _where(self, c: np.ndarray, a, b):
+        """``np.where`` guarded so dtype promotion cannot change values."""
+        a_arr = isinstance(a, np.ndarray)
+        b_arr = isinstance(b, np.ndarray)
+        if a_arr and b_arr:
+            if a.dtype != b.dtype:
+                raise _Abort
+            return np.where(c, a, b)
+        # a mixed (array, Python scalar) pair is only promotion-safe when
+        # everything is already IEEE double
+        f64a = a.dtype == np.float64 if a_arr else type(a) is float
+        f64b = b.dtype == np.float64 if b_arr else type(b) is float
+        if f64a and f64b:
+            return np.where(c, a, b)
+        raise _Abort
+
+    def _mk_ref(self, base, comps: List) -> _Ref:
+        if isinstance(base, FortranArray):
+            flat = 0
+            for c, s in zip(comps, base.strides):
+                flat = flat + (c - 1) * s
+            if isinstance(flat, np.ndarray):
+                self.grid_ids.add(id(flat))
+            return _Ref("fa", base, flat)
+        if isinstance(base, np.ndarray):
+            if id(base) in self.grid_ids:
+                raise _Abort
+            return _Ref("nd", base, tuple(comps))
+        if isinstance(base, Cell):
+            # ElementPtr(cell, ...) ignores indices: cell semantics
+            return _Ref("cell", base)
+        raise _Abort
+
+    # ------------------------------------------------------------------ validate
+    def _validate(self) -> None:
+        intersect = np.intersect1d
+        for recs in self.pending.values():
+            flats = []
+            for rec in recs:
+                if rec.lost:
+                    flats.append(None)
+                    continue
+                flat = rec.nidx.ravel()
+                if np.unique(flat).size != flat.size:
+                    raise _Abort    # duplicate targets: order-dependent
+                flats.append(flat)
+            for i in range(len(recs)):
+                if flats[i] is None:
+                    continue
+                for j in range(i + 1, len(recs)):
+                    if flats[j] is None:
+                        continue
+                    if recs[i].nidx.shape == recs[j].nidx.shape \
+                            and np.array_equal(recs[i].nidx, recs[j].nidx):
+                        continue
+                    if intersect(flats[i], flats[j]).size:
+                        raise _Abort
+        for lseq, lkey, lnidx in self.loads:
+            recs = self.pending.get(lkey)
+            if not recs:
+                continue
+            lshape = lnidx.shape
+            lflat = lnidx.ravel()
+            for rec in recs:
+                if rec.lost or rec.seq < lseq:
+                    continue    # earlier writes were resolved at load time
+                if rec.full and rec.nidx.shape == lshape \
+                        and np.array_equal(rec.nidx, lnidx):
+                    # each iteration loads exactly the location it later
+                    # stores, and no other iteration touches it
+                    continue
+                if intersect(rec.nidx.ravel(), lflat).size:
+                    raise _Abort    # a later store may feed an earlier
+                    # iteration's load (loop-carried read-modify-write)
+        if self.cell_binds:
+            last_store: Dict[int, int] = {}
+            for seq, is_store, cid, _full in self.cell_events:
+                if is_store:
+                    last_store[cid] = seq
+            for seq, is_store, cid, full in self.cell_events:
+                if not is_store and not full \
+                        and last_store.get(cid, 0) > seq:
+                    # a broadcast read followed by a rebinding store is a
+                    # loop-carried dependence (e.g. s = s + a(i)): decline
+                    raise _Abort
+        store_keys = set(self.pending)
+        if store_keys:
+            shares = np.shares_memory
+            for sk in store_keys:
+                sbuf = self.bufs[sk]
+                for ok, obuf in self.bufs.items():
+                    if ok != sk and shares(sbuf, obuf):
+                        raise _Abort    # distinct bases over shared memory
+
+    # ------------------------------------------------------------------ commit
+    def commit(self) -> None:
+        interp = self.interp
+        counts = interp._ctx_counts
+        plan = self.plan
+        mults: List[int] = []
+        total = 0
+        for i, info in enumerate(plan.loops):
+            m = self.rt_trips[i] * (mults[info.parent]
+                                    if info.parent >= 0 else 1)
+            mults.append(m)
+            for cat, n in plan.cat_counts[i].items():
+                counts[cat] += float(n * m)
+            total += plan.tops[i] * m
+        interp.stats.total_ops += total
+        budget = interp._budget - total
+        if budget <= 0:
+            interp._check_limit()
+            budget = interp._check_stride
+        interp._budget = budget
+        for rec in self.stores:
+            if rec.lost:
+                continue
+            if rec.comps is None:
+                if rec.nidx.ndim:
+                    rec.target[rec.nidx] = rec.value
+                else:
+                    rec.target[int(rec.nidx)] = rec.value
+            else:
+                rec.target[rec.comps] = rec.value
+        for cell, value, path, scal in self.cell_binds.values():
+            if isinstance(value, np.ndarray):
+                elem = value[(-1,) * value.ndim]
+                if scal is not None:
+                    elem = scal(elem)
+                elif id(value) in self.iv_ids:
+                    elem = int(elem)
+                cell.value = elem
+            else:
+                cell.value = value
+        env = self.env
+        for res, val in self.root_results:
+            env[res] = val
+
+
+class _NestThunk:
+    """Compiled-block step for one statically matched loop nest."""
+
+    __slots__ = ("engine", "op", "plan", "handler", "aborts", "iterative")
+
+    def __init__(self, engine: "VectorEngine", op, plan):
+        self.engine = engine
+        self.op = op
+        self.plan = plan
+        self.handler = Interpreter._resolve_handler(op.name)
+        self.aborts = 0
+        self.iterative = False
+
+    def __call__(self, env):
+        engine = self.engine
+        if not self.iterative:
+            ev = _NestEval(engine.interp, self.plan, env)
+            try:
+                ev.run()
+            except _Abort:
+                pass
+            except Exception:
+                # let the iterative handler raise the real error in context
+                pass
+            else:
+                self.aborts = 0
+                engine.vector_runs += 1
+                ev.commit()
+                return None
+            self.aborts += 1
+            if self.aborts >= _MAX_ABORTS:
+                self.iterative = True
+        engine.fallback_runs += 1
+        return self.handler(engine.interp, self.op, env)
+
+
+class VectorEngine:
+    """Engine object bound to one Interpreter (mirrors ``JitEngine``)."""
+
+    def __init__(self, interp: Interpreter):
+        self.interp = interp
+        self.cache: Dict = {}
+        #: static match accounting (for tooling / the examples demo)
+        self.matched_sites = 0
+        self.declined_sites = 0
+        #: dynamic accounting: whole-array evaluations vs iterative runs
+        self.vector_runs = 0
+        self.fallback_runs = 0
+
+    def run_block(self, block, env) -> Tuple[str, object]:
+        code = self.cache.get(block)
+        if code is None:
+            code = self.cache[block] = self._compile_block(block)
+        interp = self.interp
+        budget = interp._budget - len(code)
+        if budget <= 0:
+            interp._check_limit()
+            budget = interp._check_stride
+        interp._budget = budget
+        for step in code:
+            result = step(env)
+            if result is not None:
+                return result
+        return "yield", (None, [])
+
+    def _compile_block(self, block) -> List:
+        interp = self.interp
+        code: List = []
+        ops = block.ops
+        skip_next = False
+        for position, op in enumerate(ops):
+            if skip_next:
+                skip_next = False
+                continue
+            follower = ops[position + 1] if position + 1 < len(ops) else None
+            if op.name in LOOP_OPS:
+                plan = match_nest(op)
+                if plan is not None:
+                    self.matched_sites += 1
+                    code.append(_NestThunk(self, op, plan))
+                    continue
+                self.declined_sites += 1
+            thunk = interp._compile_op(op, follower)
+            if thunk is _FUSED_WITH_NEXT:
+                thunk = interp._fused_thunk(op, follower)
+                skip_next = True
+            code.append(thunk)
+        return code
+
+
+__all__ = ["VectorEngine"]

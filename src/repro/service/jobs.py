@@ -41,7 +41,10 @@ from .serialization import stats_from_dict, stats_to_dict
 #: v5: third interpreter engine ``jit`` (trace-compiling); worklist
 #: canonicalizer replaced the full-rewalk driver — artifacts now execute on
 #: three engines and pipeline outputs are produced by the new driver.
-KEY_SCHEMA_VERSION = 5
+#: v6: fourth interpreter engine ``vector`` (whole-array numpy evaluation
+#: of matched loop nests with analytic stats); jit gained an amortization
+#: heuristic that falls back to compiled dispatch on cold small blocks.
+KEY_SCHEMA_VERSION = 6
 
 
 class ServiceError(RuntimeError):
@@ -62,7 +65,8 @@ class CompileJob:
     threads: int = 1
     gpu: bool = False
     #: Interpreter engine the artifact's observables come from ("compiled"
-    #: cached-dispatch, "reference" one-op, or "jit" trace-compiling).
+    #: cached-dispatch, "reference" one-op, "jit" trace-compiling, or
+    #: "vector" whole-array numpy).
     engine: str = "compiled"
     #: Optional live workload; spares a registry lookup and lets callers run
     #: non-registry workloads in-process.  Never crosses a process boundary.

@@ -55,24 +55,22 @@ class TestCompareObservations:
         assert compare_observations(self._base(), self.CONFIGS) == []
 
     def test_engine_output_divergence_is_bit_exact(self):
+        from repro.flows import ENGINES
         # 1e-12 apart: fine across flows, NOT fine across engines
         observations = self._base({
-            ("a", "reference"): _obs("a", "reference",
-                                     printed=("1.000000000001",)),
-            ("a", "compiled"): _obs("a", "compiled", printed=("1.0",)),
-            ("a", "jit"): _obs("a", "jit", printed=("1.0",)),
-            ("b", "compiled"): _obs("b", "compiled", printed=("1.0",)),
-            ("b", "reference"): _obs("b", "reference", printed=("1.0",)),
-            ("b", "jit"): _obs("b", "jit", printed=("1.0",)),
+            (config, engine): _obs(config, engine, printed=("1.0",))
+            for config in ("a", "b") for engine in ENGINES
         })
+        observations[("a", "reference")] = _obs(
+            "a", "reference", printed=("1.000000000001",))
         kinds = [d.kind for d in compare_observations(observations, self.CONFIGS)]
         assert kinds == ["engine-output"]
 
     def test_cross_flow_divergence(self):
+        from repro.flows import ENGINES
         observations = self._base({
-            ("b", "compiled"): _obs("b", "compiled", printed=("2",)),
-            ("b", "reference"): _obs("b", "reference", printed=("2",)),
-            ("b", "jit"): _obs("b", "jit", printed=("2",)),
+            ("b", engine): _obs("b", engine, printed=("2",))
+            for engine in ENGINES
         })
         divergences = compare_observations(observations, self.CONFIGS)
         assert [d.kind for d in divergences] == ["flow-output"]
@@ -80,26 +78,26 @@ class TestCompareObservations:
         assert divergences[0].right == "b@compiled"
 
     def test_engine_stats_divergence(self):
+        from repro.flows import ENGINES
         from repro.machine import ExecutionStats
         from repro.service.serialization import stats_to_dict
         stats_a, stats_b = ExecutionStats(), ExecutionStats()
         stats_b.bump("serial", "arith")
         observations = self._base({
-            ("a", "compiled"): _obs("a", "compiled",
-                                    stats=stats_to_dict(stats_a)),
-            ("a", "reference"): _obs("a", "reference",
-                                     stats=stats_to_dict(stats_b)),
-            ("a", "jit"): _obs("a", "jit", stats=stats_to_dict(stats_a)),
+            ("a", engine): _obs("a", engine, stats=stats_to_dict(stats_a))
+            for engine in ENGINES
         })
+        observations[("a", "reference")] = _obs(
+            "a", "reference", stats=stats_to_dict(stats_b))
         divergences = compare_observations(observations, self.CONFIGS)
         assert [d.kind for d in divergences] == ["engine-stats"]
         assert "arith" in divergences[0].detail
 
     def test_single_flow_failure_is_flagged(self):
+        from repro.flows import ENGINES
         observations = self._base({
-            ("b", "compiled"): _obs("b", "compiled", ok=False, error="boom"),
-            ("b", "reference"): _obs("b", "reference", ok=False, error="boom"),
-            ("b", "jit"): _obs("b", "jit", ok=False, error="boom"),
+            ("b", engine): _obs("b", engine, ok=False, error="boom")
+            for engine in ENGINES
         })
         kinds = [d.kind for d in compare_observations(observations, self.CONFIGS)]
         assert kinds == ["flow-error"]
@@ -149,7 +147,7 @@ end program p
 """)
         assert report.ok, [d.describe() for d in report.divergences]
         from repro.flows import ENGINES
-        # 3 configs x 3 engines observed
+        # 3 configs x every registered engine observed
         assert len(report.observations) == 3 * len(ENGINES)
         assert all(o.ok for o in report.observations.values())
 

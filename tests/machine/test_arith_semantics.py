@@ -17,7 +17,7 @@ from repro.service.serialization import stats_to_dict
 from ..conftest import run_flang, run_ours
 
 ENGINES = pytest.mark.parametrize("engine",
-                                  ["compiled", "reference", "jit"])
+                                  ["compiled", "reference", "jit", "vector"])
 
 NAN = float("nan")
 

@@ -2,10 +2,10 @@
 
 PR 3 spot-checked one polyhedron kernel and one stencil; this extends the
 guarantee to **every registered workload family** (and the conformance
-generator's family) and to **all three engines**: the cached-dispatch
-engine, the trace-compiling jit engine and the one-op reference engine must
-produce bit-identical :class:`ExecutionStats` and printed output for the
-same compiled module.
+generator's family) and to **all registered engines**: the cached-dispatch
+engine, the trace-compiling jit engine, the whole-array vector engine and
+the one-op reference engine must produce bit-identical
+:class:`ExecutionStats` and printed output for the same compiled module.
 """
 
 import pytest
