@@ -148,20 +148,30 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 
 def _cmd_repro(args: argparse.Namespace) -> int:
+    from ..ir.pass_manager import pipeline_settings
+    from ..service.incremental import get_function_store
+
     configs = _parse_flows(args.flows)
-    report = check_seed(args.seed, configs, engines=_parse_engines(args.engines))
-    kernel = generate(args.seed)
-    print(f"seed {args.seed}: features: {', '.join(kernel.features)}")
-    if report.ok:
-        print("no divergence — kernel is conformant on every registered "
-              "flow and every engine")
-        return 0
-    _print_report(report)
-    reduced = None
-    if not args.no_reduce:
-        reduced = reduce_report(report, configs)
-        print(f"\nreduced repro ({len(reduced.splitlines())} lines):\n")
-        print(reduced)
+    # The shrink loop recompiles near-identical kernels hundreds of times;
+    # the function store turns untouched functions into splices, and --jobs
+    # parallelises the pass nests of what remains.  Either way the checks
+    # are bit-identical to cold serial compiles.
+    store = None if args.no_incremental else get_function_store()
+    with pipeline_settings(jobs=args.jobs, function_cache=store):
+        report = check_seed(args.seed, configs,
+                            engines=_parse_engines(args.engines))
+        kernel = generate(args.seed)
+        print(f"seed {args.seed}: features: {', '.join(kernel.features)}")
+        if report.ok:
+            print("no divergence — kernel is conformant on every registered "
+                  "flow and every engine")
+            return 0
+        _print_report(report)
+        reduced = None
+        if not args.no_reduce:
+            reduced = reduce_report(report, configs)
+            print(f"\nreduced repro ({len(reduced.splitlines())} lines):\n")
+            print(reduced)
     if args.out:
         path = _write_repro(report, args.out, reduced=reduced)
         print(f"repro written to {path}")
@@ -216,6 +226,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     repro_p.add_argument("--engines")
     repro_p.add_argument("--out", help="also write the repro file here")
     repro_p.add_argument("--no-reduce", action="store_true")
+    repro_p.add_argument("--jobs", type=int, default=1, metavar="N",
+                         help="parallelise func.func pass nests across N "
+                              "workers during the check + shrink loop")
+    repro_p.add_argument("--no-incremental", action="store_true",
+                         help="disable the per-function stage store during "
+                              "the shrink loop")
     repro_p.set_defaults(func=_cmd_repro)
 
     show_p = sub.add_parser("show", help="print the kernel for a seed")

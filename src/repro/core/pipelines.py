@@ -105,10 +105,16 @@ def standard_flow_pipeline(vector_width: int = 4, *, tile: bool = False,
                            gpu: bool = False, **_ignored) -> PassManager:
     """The whole standard flow as ONE op-anchored nested pipeline.
 
-    This is what the ``ours`` flow's pipeline builder returns: the initial
-    scalar cleanups are anchored per-``func.func`` (MLIR ``OpPassManager``
-    style), the optional GPU/OpenMP lowerings and the Section V/VI
-    optimisation stage follow at module level.  Running it yields a single
+    This is what the ``ours`` flow's pipeline builder returns: every stage —
+    the initial scalar cleanups, the optional GPU/OpenMP lowerings and the
+    Section V/VI optimisation stage — is anchored per-``func.func`` (MLIR
+    ``OpPassManager`` style).  All of these passes transform one function at
+    a time, so anchoring the whole flow under one nest changes nothing about
+    what runs; what it buys is the function-granular machinery in
+    :mod:`repro.ir.pass_manager`: with ``pipeline_settings(jobs=N)`` the
+    functions of a module are optimised in parallel, and with a
+    ``function_cache`` unchanged functions are spliced from the store
+    instead of recompiled.  Running it yields a single
     :class:`~repro.ir.pass_manager.PassTimingReport` covering every stage.
     """
     pm = PassManager()
@@ -119,10 +125,10 @@ def standard_flow_pipeline(vector_width: int = 4, *, tile: bool = False,
                  "canonicalize", "cse"):
         fn.add(name)
     if gpu:
-        pm.passes.extend(gpu_pipeline().passes)
+        fn.passes.extend(gpu_pipeline().passes)
     if parallelise:
-        pm.passes.extend(openmp_pipeline().passes)
-    pm.passes.extend(optimise_pipeline(vector_width, tile=tile,
+        fn.passes.extend(openmp_pipeline().passes)
+    fn.passes.extend(optimise_pipeline(vector_width, tile=tile,
                                        tile_size=tile_size,
                                        unroll=unroll).passes)
     return pm

@@ -20,7 +20,9 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from ..ir.core import Operation
-from ..ir.pass_manager import PassInstrumentation, PassManager, PassTimingReport
+from ..ir.pass_manager import (_INHERIT as _INHERIT_SETTINGS,
+                               PassInstrumentation, PassManager,
+                               PassTimingReport, pipeline_settings)
 
 
 class FlowError(RuntimeError):
@@ -283,20 +285,32 @@ class Flow:
             execution: Optional[ExecutionContext] = None, *,
             verify_each: bool = False,
             collect_statistics: bool = True,
-            instrumentation: Sequence[PassInstrumentation] = ()) -> FlowResult:
+            instrumentation: Sequence[PassInstrumentation] = (),
+            jobs: Optional[int] = None,
+            function_cache: Any = _INHERIT_SETTINGS) -> FlowResult:
         """Check capabilities, normalise options, compile. The one entry point.
 
         ``collect_statistics=False`` skips the per-pass timing/IR-size
         bookkeeping — the compile service uses it since it discards
         :attr:`FlowResult.timing`.
+
+        ``jobs`` and ``function_cache`` set the ambient
+        :func:`~repro.ir.pass_manager.pipeline_settings` for the compile:
+        ``jobs > 1`` runs ``func.func``-anchored pass nests in parallel, and
+        a :class:`~repro.service.incremental.FunctionArtifactStore` makes
+        the compile incremental at function granularity.  Both default to
+        whatever the calling context already established (so nesting flows
+        inside ``pipeline_settings(...)`` blocks keeps working), and every
+        registered flow gets them without overriding :meth:`compile`.
         """
         execution = execution or ExecutionContext()
         self.check_capabilities(workload, execution)
         normalised = self.normalise_options(options, workload, execution)
-        return self.compile(workload, normalised, execution,
-                            verify_each=verify_each,
-                            collect_statistics=collect_statistics,
-                            instrumentation=instrumentation)
+        with pipeline_settings(jobs=jobs, function_cache=function_cache):
+            return self.compile(workload, normalised, execution,
+                                verify_each=verify_each,
+                                collect_statistics=collect_statistics,
+                                instrumentation=instrumentation)
 
     def describe(self) -> str:
         return f"{self.name}: {self.description or '<no description>'}"

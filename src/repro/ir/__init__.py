@@ -14,9 +14,12 @@ from .core import (Block, BlockArgument, IRError, OpResult, Operation, Region,
                    UnregisteredOp, Use, Value, create_operation, register_op,
                    registered_op)
 from .pass_manager import (FunctionPass, Pass, PassError, PassManager,
-                           available_passes, get_registered_pass,
-                           parse_pipeline, register_pass)
+                           PipelineSettings, available_passes,
+                           current_settings, get_registered_pass,
+                           parse_pipeline, pipeline_settings, register_pass)
 from .printer import Printer, print_block, print_op
+from .serial import dumps_op, loads_op, renumber_uids
+from .structural_hash import STRUCTURAL_HASH_VERSION, structural_fingerprint
 from .rewriter import (PatternRewriter, RewritePattern, RewritePatternSet,
                        apply_patterns_greedily)
 from .types import (DYNAMIC, ComplexType, FloatType, FunctionType, IndexType,

@@ -26,7 +26,7 @@ import repro.transforms  # noqa: F401
 from ..flows import (ENGINES, ExecutionContext, FlowError, available_flows,
                      get_flow)
 from ..ir.pass_manager import (IRDumpInstrumentation, PassManager,
-                               available_passes)
+                               available_passes, pipeline_settings)
 from ..ir.pass_manager import _parse_scalar
 from ..ir.printer import print_op
 from ..ir.verifier import VerificationError, verify_operation
@@ -86,6 +86,13 @@ def build_parser() -> argparse.ArgumentParser:
                       help="execution context: interpreter engine the "
                            "artifact is built for (affects the service "
                            "cache key; default: compiled)")
+    what.add_argument("--jobs", type=int, default=1, metavar="N",
+                      help="run func.func-anchored pass nests over up to N "
+                           "functions in parallel (default: 1, serial)")
+    what.add_argument("--no-incremental", action="store_true",
+                      help="disable the per-function stage store: recompile "
+                           "every function even if an identical one was "
+                           "optimised before in this process")
 
     out = parser.add_argument_group("output")
     out.add_argument("-o", "--output", metavar="FILE",
@@ -267,9 +274,13 @@ def _run_flow(args, source) -> int:
         status = _run_via_daemon(args, flow, coerced, execution)
         if status is not None:
             return status
+    from ..service.incremental import get_function_store
     result = flow.run(source, coerced, execution,
                       verify_each=args.verify_each,
-                      instrumentation=_instrumentation(args))
+                      instrumentation=_instrumentation(args),
+                      jobs=args.jobs,
+                      function_cache=(None if args.no_incremental
+                                      else get_function_store()))
     if result.error is not None:
         print(f"error: flow '{flow.name}' failed: {result.error}",
               file=sys.stderr)
@@ -299,6 +310,7 @@ def _run_flow(args, source) -> int:
 def _run_pipeline(args, source) -> int:
     from ..flang import FlangCompiler
     from ..core.fir_to_standard import convert_fir_to_standard
+    from ..service.incremental import get_function_store
 
     module = FlangCompiler().lower_to_hlfir(source.source(scaled=True))
     if args.input_stage == "standard":
@@ -307,7 +319,10 @@ def _run_pipeline(args, source) -> int:
                                    verify_each=args.verify_each)
     for instr in _instrumentation(args):
         pm.add_instrumentation(instr)
-    pm.run(module)
+    with pipeline_settings(jobs=args.jobs,
+                           function_cache=(None if args.no_incremental
+                                           else get_function_store())):
+        pm.run(module)
 
     if not args.no_print_ir:
         _emit(print_op(module), args.output)

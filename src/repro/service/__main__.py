@@ -73,6 +73,10 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="restrict table1/2/3 rows to these benchmarks")
     run.add_argument("--jobs", type=int, default=1, metavar="N",
                      help="parallel compile workers for cache misses")
+    run.add_argument("--no-incremental", action="store_true",
+                     help="disable function-granular incremental "
+                          "compilation for this batch (every function "
+                          "recompiles from scratch)")
     run.add_argument("--engine", default="compiled", choices=_engines(),
                      help="interpreter engine the measurements execute on "
                           "(default: compiled)")
@@ -143,7 +147,8 @@ def _cmd_run_tables(args: argparse.Namespace) -> int:
                                  max_workers=args.jobs)
     result = run_tables(tables=args.tables, service=service,
                         max_workers=args.jobs, benchmarks=args.benchmarks,
-                        engine=args.engine)
+                        engine=args.engine,
+                        incremental=not args.no_incremental)
 
     if not args.quiet:
         for name, table in result["tables"].items():
@@ -161,6 +166,9 @@ def _cmd_run_tables(args: argparse.Namespace) -> int:
           f"({counters['memory_hits']} memory / {counters['disk_hits']} disk), "
           f"{counters['misses']} misses, "
           f"{counters['recompilations']} recompilations")
+    fn = result["function_counters"]
+    print(f"functions: {fn['hits']}/{fn['lookups']} stage hits "
+          f"(rate {fn['hit_rate']:.2f}), {fn['stores']} stored")
     print(f"time:  batch {elapsed['batch']:.2f}s + tables "
           f"{elapsed['tables']:.2f}s = {elapsed['total']:.2f}s")
     for workload, error in batch.failures:
@@ -172,6 +180,7 @@ def _cmd_run_tables(args: argparse.Namespace) -> int:
                        for name, table in result["tables"].items()},
             "batch": batch.as_dict(),
             "counters": counters,
+            "function_counters": fn,
             "elapsed_s": elapsed,
         }
         with open(args.summary, "w", encoding="utf-8") as fh:

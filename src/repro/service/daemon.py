@@ -308,6 +308,9 @@ class CompileDaemon:
             "latency_s": m.latency_percentiles(),
             "cache": self.service.cache.stats(),
             "recompilations": self.service.recompilations,
+            # function-granular incremental compilation hit rates (this
+            # process's store + pool-worker deltas)
+            "function_cache": self.service.function_counters(),
         }
 
     async def _op_execute(self, request: Dict[str, Any]) -> Dict[str, Any]:

@@ -44,7 +44,11 @@ from .serialization import stats_from_dict, stats_to_dict
 #: v6: fourth interpreter engine ``vector`` (whole-array numpy evaluation
 #: of matched loop nests with analytic stats); jit gained an amortization
 #: heuristic that falls back to compiled dispatch on cold small blocks.
-KEY_SCHEMA_VERSION = 6
+#: v7: function-granular incremental compilation — the standard flow
+#: pipeline re-anchored under one ``func.func(...)`` nest (same passes, new
+#: canonical pipeline text) and per-function stage artifacts now share the
+#: store; pre-incremental artifacts must read as clean misses.
+KEY_SCHEMA_VERSION = 7
 
 
 class ServiceError(RuntimeError):
@@ -68,6 +72,11 @@ class CompileJob:
     #: cached-dispatch, "reference" one-op, "jit" trace-compiling, or
     #: "vector" whole-array numpy).
     engine: str = "compiled"
+    #: Whether this job's compile may reuse (and feed) the process's
+    #: per-function stage store.  Execution strategy, not artifact identity:
+    #: incremental and cold compiles are bit-identical by construction, so
+    #: this is deliberately absent from :meth:`key_material`.
+    incremental: bool = True
     #: Optional live workload; spares a registry lookup and lets callers run
     #: non-registry workloads in-process.  Never crosses a process boundary.
     workload: Optional[Workload] = field(default=None, repr=False, compare=False)
@@ -101,7 +110,7 @@ class CompileJob:
                 "workload_kwargs": tuple(self.workload_kwargs),
                 "options": tuple(self.options),
                 "threads": self.threads, "gpu": self.gpu,
-                "engine": self.engine}
+                "engine": self.engine, "incremental": self.incremental}
 
     @classmethod
     def from_spec(cls, spec: Dict[str, Any]) -> "CompileJob":
@@ -237,14 +246,18 @@ def run_job(job: CompileJob) -> CompiledArtifact:
 
 def _run_resolved_job(job: CompileJob, flow, workload,
                       key: str) -> CompiledArtifact:
+    from ..ir.pass_manager import pipeline_settings
     from ..ir.printer import print_op
     from ..machine import Interpreter
+    from .incremental import get_function_store
 
+    store = get_function_store() if job.incremental else None
     try:
         # the service discards FlowResult.timing, so skip the per-pass
         # timing/IR-size bookkeeping on this hot path
-        result = flow.run(workload, job.options_dict(), job.execution(),
-                          collect_statistics=False)
+        with pipeline_settings(function_cache=store):
+            result = flow.run(workload, job.options_dict(), job.execution(),
+                              collect_statistics=False)
         if result.error is not None:
             # flows may encode failure in the result instead of raising
             return CompiledArtifact(key=key, flow=job.flow,
@@ -272,18 +285,26 @@ def execute_spec(spec: Dict[str, Any]) -> Tuple[str, Dict[str, Any]]:
 
 
 def execute_spec_timed(
-        spec: Dict[str, Any]) -> Tuple[str, Dict[str, Any], float]:
-    """Like :func:`execute_spec`, plus the worker-side compile seconds.
+        spec: Dict[str, Any]
+) -> Tuple[str, Dict[str, Any], float, Dict[str, int]]:
+    """Like :func:`execute_spec`, plus worker-side compile seconds and the
+    function-store counter delta this job caused.
 
     The elapsed time is measured inside the worker, so it is pure
-    compile+interpret time — pool queueing and pickling are excluded.  It
-    travels next to the payload, never inside it: cached artifacts stay
-    bit-identical whether or not their compile was timed.
+    compile+interpret time — pool queueing and pickling are excluded.  Both
+    extras travel next to the payload, never inside it: cached artifacts
+    stay bit-identical whether or not their compile was timed.  The counter
+    delta lets the scheduler aggregate function-level hit rates across pool
+    workers, whose stores are per-process.
     """
     import time
+
+    from .incremental import counters_delta, snapshot_counters
+    before = snapshot_counters()
     started = time.perf_counter()
     key, payload = execute_spec(spec)
-    return key, payload, time.perf_counter() - started
+    elapsed = time.perf_counter() - started
+    return key, payload, elapsed, counters_delta(before)
 
 
 __all__ = ["CompileJob", "CompiledArtifact", "ServiceError", "run_job",

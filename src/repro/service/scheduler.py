@@ -23,6 +23,8 @@ from threading import Lock
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from .cache import ArtifactCache
+from .incremental import (FunctionArtifactStore, get_function_store,
+                          snapshot_counters)
 from .jobs import (CompiledArtifact, CompileJob, execute_spec_timed,
                    run_job)
 
@@ -60,6 +62,15 @@ class CompileService:
         self._lock = Lock()
         self.recompilations = 0
         self.batches = 0
+        # Bind the process-wide function store to this service's artifact
+        # cache: per-function stage results now persist (and survive
+        # restarts) alongside whole-module artifacts.
+        self.function_store: FunctionArtifactStore = get_function_store()
+        self.function_store.attach_cache(self.cache)
+        #: Function-store counter deltas reported back by pool workers,
+        #: whose process-local stores are invisible to ours.
+        self._worker_fn_counters: Dict[str, int] = {
+            "memory_hits": 0, "disk_hits": 0, "misses": 0, "stores": 0}
 
     # --------------------------------------------------------------- single
     def execute(self, job: CompileJob) -> CompiledArtifact:
@@ -157,7 +168,7 @@ class CompileService:
                     leftover: List[CompileJob] = []
                     for job, future in futures:
                         try:
-                            key, payload, elapsed = future.result()
+                            key, payload, elapsed, fn_delta = future.result()
                         except Exception:
                             # worker infrastructure failure (broken pool,
                             # unpicklable state, ...): redo in-process below
@@ -165,6 +176,11 @@ class CompileService:
                             continue
                         results[key] = (payload, elapsed)
                         report.pool_executed += 1
+                        with self._lock:
+                            for name, count in fn_delta.items():
+                                self._worker_fn_counters[name] = (
+                                    self._worker_fn_counters.get(name, 0)
+                                    + count)
                     remaining = leftover
             except Exception:
                 # pool could not start at all (restricted environments)
@@ -183,6 +199,20 @@ class CompileService:
         merged["recompilations"] = self.recompilations
         merged["batches"] = self.batches
         return merged
+
+    def function_counters(self) -> Dict[str, Any]:
+        """Function-level cache accounting: this process's store plus the
+        deltas pool workers reported with their results."""
+        totals = snapshot_counters()
+        with self._lock:
+            for name, count in self._worker_fn_counters.items():
+                totals[name] = totals.get(name, 0) + count
+        hits = totals["memory_hits"] + totals["disk_hits"]
+        lookups = hits + totals["misses"]
+        totals["hits"] = hits
+        totals["lookups"] = lookups
+        totals["hit_rate"] = round(hits / lookups, 4) if lookups else 0.0
+        return totals
 
 
 __all__ = ["CompileService", "BatchReport"]

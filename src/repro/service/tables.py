@@ -100,11 +100,15 @@ def run_tables(tables: Optional[Sequence[str]] = None,
                service: Optional[CompileService] = None,
                max_workers: Optional[int] = None,
                benchmarks: Optional[Sequence[str]] = None,
-               engine: str = "compiled") -> Dict[str, Any]:
+               engine: str = "compiled",
+               incremental: bool = True) -> Dict[str, Any]:
     """Warm the cache in one parallel batch, then regenerate the tables.
 
+    ``incremental=False`` turns off the per-function stage store for every
+    job in the batch (compiles from scratch; artifact keys are unaffected).
+
     Returns ``{"tables": {name: ExperimentTable}, "batch": BatchReport,
-    "counters": {...}, "elapsed_s": {...}}``.
+    "counters": {...}, "function_counters": {...}, "elapsed_s": {...}}``.
     """
     from . import get_default_service, use_service
     from ..harness import experiments
@@ -112,9 +116,13 @@ def run_tables(tables: Optional[Sequence[str]] = None,
     tables = tuple(tables or ALL_TABLES)
     service = service or get_default_service()
 
+    jobs = enumerate_jobs(tables, benchmarks, engine)
+    if not incremental:
+        for job in jobs:
+            job.incremental = False
+
     t0 = time.perf_counter()
-    batch: BatchReport = service.submit(
-        enumerate_jobs(tables, benchmarks, engine), max_workers=max_workers)
+    batch: BatchReport = service.submit(jobs, max_workers=max_workers)
     t_batch = time.perf_counter() - t0
 
     producers = {
@@ -135,6 +143,7 @@ def run_tables(tables: Optional[Sequence[str]] = None,
     t_tables = time.perf_counter() - t1
 
     return {"tables": results, "batch": batch, "counters": service.counters(),
+            "function_counters": service.function_counters(),
             "elapsed_s": {"batch": t_batch, "tables": t_tables,
                           "total": t_batch + t_tables}}
 

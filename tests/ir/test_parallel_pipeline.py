@@ -1,0 +1,174 @@
+"""Parallel func.func pass scheduling: bit-identical to serial, by contract.
+
+Every mode the scheduler can pick — serial, thread pool (instrumented
+runs), process pool (ISSUE tentpole) — must produce the same final IR
+text and the same :class:`PassTimingReport` structure (pass names,
+anchors, IR op counts; wall times naturally differ) as a plain serial
+run.  Also covers the serialization layer the process mode rides on.
+"""
+
+import pytest
+
+from repro.core.fir_to_standard import convert_fir_to_standard
+from repro.flang import FlangCompiler
+from repro.ir import (PassManager, dumps_op, loads_op, pipeline_settings,
+                      print_op)
+from repro.ir.pass_manager import PassInstrumentation, PassTimingReport
+
+MULTI_FUNC = """
+subroutine pa(n)
+  implicit none
+  integer, intent(in) :: n
+  integer :: i
+  real(kind=8), dimension(48) :: u, v
+  do i = 1, 48
+    v(i) = u(i) * 3.0d0 + 1.0d0
+  end do
+end subroutine pa
+
+subroutine pb(n)
+  implicit none
+  integer, intent(in) :: n
+  integer :: i
+  real(kind=8), dimension(48) :: w
+  do i = 2, 47
+    w(i) = 0.5d0 * (w(i-1) + w(i+1))
+  end do
+end subroutine pb
+
+subroutine pc(n)
+  implicit none
+  integer, intent(in) :: n
+  integer :: i
+  real(kind=8) :: acc
+  real(kind=8), dimension(48) :: x, y
+  acc = 0.0d0
+  do i = 1, 48
+    acc = acc + x(i) * y(i)
+  end do
+end subroutine pc
+"""
+
+PIPELINE = ("builtin.module(func.func(canonicalize,cse,"
+            "forward-scalar-stores,canonicalize,cse,"
+            "loop-invariant-code-motion))")
+
+
+def _module():
+    return convert_fir_to_standard(
+        FlangCompiler().lower_to_hlfir(MULTI_FUNC))
+
+
+def _timing_structure(report):
+    return [(t.pass_name, t.anchor, t.ops_before, t.ops_after)
+            for t in report.timings]
+
+
+def _run(jobs, collect=True, instrumentation=()):
+    module = _module()
+    pm = PassManager.from_pipeline(PIPELINE, collect_statistics=collect)
+    for instr in instrumentation:
+        pm.add_instrumentation(instr)
+    with pipeline_settings(jobs=jobs, function_cache=None):
+        pm.run(module)
+    return print_op(module), pm.last_report
+
+
+def test_parallel_ir_and_timing_structure_match_serial():
+    serial_text, serial_report = _run(jobs=1)
+    parallel_text, parallel_report = _run(jobs=3)
+    assert parallel_text == serial_text
+    assert _timing_structure(parallel_report) == \
+        _timing_structure(serial_report)
+    assert parallel_report.pipeline == serial_report.pipeline
+
+
+class _Counting(PassInstrumentation):
+    def __init__(self):
+        self.before = 0
+        self.after = 0
+
+    def before_pass(self, pass_, op):
+        self.before += 1
+
+    def after_pass(self, pass_, op, timing):
+        self.after += 1
+
+
+def test_instrumented_parallel_matches_serial():
+    # instrumentation hooks force the thread path (hooks must observe every
+    # pass execution); output must still be bit-identical and the hooks
+    # must fire once per (pass, function)
+    serial_counter = _Counting()
+    serial_text, _ = _run(jobs=1, instrumentation=[serial_counter])
+    parallel_counter = _Counting()
+    parallel_text, _ = _run(jobs=3, instrumentation=[parallel_counter])
+    assert parallel_text == serial_text
+    assert parallel_counter.before == serial_counter.before
+    assert parallel_counter.after == serial_counter.after
+
+
+def test_no_statistics_parallel_matches_serial():
+    serial_text, _ = _run(jobs=1, collect=False)
+    parallel_text, _ = _run(jobs=4, collect=False)
+    assert parallel_text == serial_text
+
+
+def test_merge_is_associative_and_order_preserving():
+    _, r1 = _run(jobs=1)
+    _, r2 = _run(jobs=1)
+    _, r3 = _run(jobs=1)
+    left = PassTimingReport.merge([PassTimingReport.merge([r1, r2]), r3])
+    right = PassTimingReport.merge([r1, PassTimingReport.merge([r2, r3])])
+    assert _timing_structure(left) == _timing_structure(right)
+    assert _timing_structure(left)[:len(r1.timings)] == _timing_structure(r1)
+
+
+def test_pickle_roundtrip_preserves_ir_and_renumbers_uids():
+    module = _module()
+    funcs = [op for op in module.regions[0].blocks[0].ops
+             if op.name == "func.func"]
+    func = funcs[0]
+    restored = loads_op(dumps_op(func))
+    assert print_op(restored) == print_op(func)
+    # fresh uids: no op or block may collide with the still-live original
+    old_ops = {op._uid for op in func.walk()}
+    new_ops = {op._uid for op in restored.walk()}
+    assert not (old_ops & new_ops)
+    old_blocks = {b._uid for op in func.walk()
+                  for r in op.regions for b in r.blocks}
+    new_blocks = {b._uid for op in restored.walk()
+                  for r in op.regions for b in r.blocks}
+    assert not (old_blocks & new_blocks)
+    # the dump did not detach the original from its module
+    assert func.parent is not None
+
+
+def test_attached_op_dump_does_not_capture_module():
+    module = _module()
+    func = [op for op in module.regions[0].blocks[0].ops
+            if op.name == "func.func"][0]
+    restored = loads_op(dumps_op(func))
+    assert restored.parent is None
+
+
+def test_pipeline_settings_scope_and_inheritance():
+    from repro.ir import current_settings
+    assert current_settings().jobs == 1
+    with pipeline_settings(jobs=4):
+        assert current_settings().jobs == 4
+        with pipeline_settings(function_cache=None):
+            # jobs inherited, cache explicitly disabled
+            assert current_settings().jobs == 4
+            assert current_settings().function_cache is None
+    assert current_settings().jobs == 1
+
+
+def test_standard_flow_pipeline_is_one_function_nest():
+    from repro.core.pipelines import standard_flow_pipeline
+    text = standard_flow_pipeline(parallelise=True).describe()
+    assert text.startswith("builtin.module(func.func(")
+    # nothing runs outside the nest: exactly one top-level entry
+    inner = text[len("builtin.module("):-1]
+    assert inner.startswith("func.func(") and inner.endswith(")")
+    assert "convert-scf-to-openmp" in inner

@@ -1,0 +1,227 @@
+"""Function-granular incremental compilation: invalidation and migration.
+
+The two load-bearing guarantees:
+
+* **minimal invalidation** — mutate one function of a two-function module
+  and exactly that function recompiles; every other function is spliced
+  from the store, and the final module is bit-identical to a cold compile
+  of the mutated source (ISSUE satellite c);
+* **schema migration** — artifacts persisted under an older
+  ``KEY_SCHEMA_VERSION`` read back as clean misses, never as corrupt hits
+  (ISSUE satellite b).
+"""
+
+import pytest
+
+from repro.core.fir_to_standard import convert_fir_to_standard
+from repro.core.pipelines import standard_flow_pipeline
+from repro.flang import FlangCompiler
+from repro.ir import pipeline_settings, print_op
+from repro.service.cache import ArtifactCache
+from repro.service.incremental import FunctionArtifactStore
+from repro.service.jobs import CompileJob, run_job
+
+F1 = """
+subroutine inc_one(n)
+  implicit none
+  integer, intent(in) :: n
+  integer :: i
+  real(kind=8), dimension(40) :: a
+  do i = 1, 40
+    a(i) = a(i) + 1.0d0
+  end do
+end subroutine inc_one
+"""
+
+F2 = """
+subroutine scale_two(n)
+  implicit none
+  integer, intent(in) :: n
+  integer :: i
+  real(kind=8), dimension(40) :: b, c
+  do i = 1, 40
+    c(i) = b(i) * 2.0d0
+  end do
+end subroutine scale_two
+"""
+
+F2_EDITED = """
+subroutine scale_two(n)
+  implicit none
+  integer, intent(in) :: n
+  integer :: i
+  real(kind=8), dimension(40) :: b, c
+  do i = 1, 40
+    c(i) = b(i) * 2.0d0 + 0.5d0
+  end do
+end subroutine scale_two
+"""
+
+MAIN = """
+program driver
+  implicit none
+  real(kind=8), dimension(40) :: a
+  real(kind=8) :: s
+  integer :: i
+  do i = 1, 40
+    a(i) = 1.0d0
+  end do
+  call inc_one(40)
+  call scale_two(40)
+  s = 0.0d0
+  do i = 1, 40
+    s = s + a(i)
+  end do
+  print *, s
+end program driver
+"""
+
+
+def _standard_module(source):
+    return convert_fir_to_standard(FlangCompiler().lower_to_hlfir(source))
+
+
+def _compile(source, store):
+    module = _standard_module(source)
+    pm = standard_flow_pipeline()
+    with pipeline_settings(function_cache=store):
+        pm.run(module)
+    return module
+
+
+def test_mutating_one_function_recompiles_exactly_one():
+    store = FunctionArtifactStore()
+    cold = _compile(F1 + F2, store)
+    assert store.counters.misses == 2 and store.counters.stores == 2
+
+    # same source again: every function splices from the store
+    warm = _compile(F1 + F2, store)
+    assert store.counters.memory_hits == 2
+    assert store.counters.misses == 2          # unchanged
+    assert print_op(warm) == print_op(cold)
+
+    # edit one function: exactly one recompile (one new miss, one hit)
+    incremental = _compile(F1 + F2_EDITED, store)
+    assert store.counters.memory_hits == 3
+    assert store.counters.misses == 3
+    assert store.counters.stores == 3
+
+    # bit-identical to a from-scratch compile of the edited source
+    cold_edited = _compile(F1 + F2_EDITED, FunctionArtifactStore())
+    assert print_op(incremental) == print_op(cold_edited)
+
+
+def test_incremental_result_executes_identically():
+    from repro.machine import Interpreter
+
+    store = FunctionArtifactStore()
+    _compile(F1 + F2 + MAIN, store)                # warm the store
+    incremental = _compile(F1 + F2_EDITED + MAIN, store)
+    assert store.counters.memory_hits == 2         # inc_one + driver spliced
+    cold = _compile(F1 + F2_EDITED + MAIN, FunctionArtifactStore())
+
+    runs = []
+    for module in (incremental, cold):
+        interp = Interpreter(module)
+        interp.run_main()
+        runs.append((interp.stats, tuple(interp.printed)))
+    assert runs[0] == runs[1]
+
+
+def test_disabled_cache_never_touches_store():
+    store = FunctionArtifactStore()
+    _compile(F1 + F2, store)
+    lookups_before = store.counters.lookups
+    module = _standard_module(F1 + F2)
+    with pipeline_settings(function_cache=None):
+        standard_flow_pipeline().run(module)
+    assert store.counters.lookups == lookups_before
+
+
+def test_run_job_feeds_and_reuses_process_store():
+    from repro.service.incremental import get_function_store
+
+    store = get_function_store()
+    run_job(CompileJob("ours", "dotproduct"))
+    hits_before = store.counters.memory_hits
+    artifact = run_job(CompileJob("ours", "dotproduct"))
+    assert artifact.ok
+    assert store.counters.memory_hits > hits_before
+
+    # incremental=False must bypass the store entirely
+    lookups_before = store.counters.lookups
+    bypass = run_job(CompileJob("ours", "dotproduct", incremental=False))
+    assert bypass.ok and bypass.module_text == artifact.module_text
+    assert store.counters.lookups == lookups_before
+
+
+def test_incremental_flag_does_not_change_cache_key():
+    a = CompileJob("ours", "dotproduct", incremental=True)
+    b = CompileJob("ours", "dotproduct", incremental=False)
+    assert a.key() == b.key()
+    assert CompileJob.from_spec(b.spec()).incremental is False
+
+
+# ---------------------------------------------------------------------------
+# persistence + schema migration
+# ---------------------------------------------------------------------------
+
+
+def test_persistent_store_serves_across_processes_simulation(tmp_path):
+    # two stores sharing one sharded cache directory model two daemon
+    # generations: the second (fresh memory) must hit on disk
+    cache = ArtifactCache(cache_dir=str(tmp_path))
+    first = FunctionArtifactStore(cache=cache)
+    cold = _compile(F1 + F2, first)
+
+    second = FunctionArtifactStore(cache=ArtifactCache(cache_dir=str(tmp_path)))
+    warm = _compile(F1 + F2, second)
+    assert second.counters.disk_hits == 2
+    assert second.counters.misses == 0
+    assert print_op(warm) == print_op(cold)
+
+
+def test_schema_bump_turns_old_artifacts_into_clean_misses(tmp_path, monkeypatch):
+    # artifacts written under the previous schema version must neither hit
+    # nor corrupt a store running the current one
+    import repro.service.jobs as jobs_mod
+
+    cache = ArtifactCache(cache_dir=str(tmp_path))
+    monkeypatch.setattr(jobs_mod, "KEY_SCHEMA_VERSION",
+                        jobs_mod.KEY_SCHEMA_VERSION - 1)
+    old = FunctionArtifactStore(cache=cache)
+    _compile(F1 + F2, old)
+    assert old.counters.stores == 2
+
+    monkeypatch.undo()
+    migrated = FunctionArtifactStore(cache=ArtifactCache(cache_dir=str(tmp_path)))
+    result = _compile(F1 + F2, migrated)
+    assert migrated.counters.disk_hits == 0
+    assert migrated.counters.misses == 2
+    assert migrated.counters.stores == 2
+    assert print_op(result) == \
+        print_op(_compile(F1 + F2, FunctionArtifactStore()))
+
+
+def test_corrupt_disk_payload_is_a_miss_not_an_error(tmp_path):
+    cache = ArtifactCache(cache_dir=str(tmp_path))
+    store = FunctionArtifactStore(cache=cache)
+    cold = _compile(F1 + F2, store)
+
+    # vandalise every persisted function payload (the pickle bytes are
+    # base64 under the "function" key; garbling the stream head makes
+    # unpickling fail while the JSON stays well-formed)
+    for shard in tmp_path.rglob("*.json"):
+        shard.write_text(shard.read_text().replace('"function":"',
+                                                   '"function":"corrupt'))
+    fresh = FunctionArtifactStore(cache=ArtifactCache(cache_dir=str(tmp_path)))
+    result = _compile(F1 + F2, fresh)
+    assert fresh.counters.disk_hits == 0
+    assert fresh.counters.misses == 2
+    assert print_op(result) == print_op(cold)
+
+
+def test_lru_eviction_bounds_live_tier():
+    store = FunctionArtifactStore(memory_entries=1)
+    _compile(F1 + F2, store)
+    assert len(store) == 1
