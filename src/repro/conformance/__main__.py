@@ -87,28 +87,42 @@ def _print_report(report: KernelReport) -> None:
 
 
 def _sweep_service(args: argparse.Namespace):
-    """A daemon-backed service when one is reachable, else ``None``.
+    """A daemon-backed service when one is reachable, else a persistent
+    in-process service.
 
-    ``None`` keeps :func:`run_sweep`'s classic in-process service, which is
-    bit-identical — the daemon only changes where compiles happen.
+    The in-process fallback binds the service to ``$REPRO_CACHE_DIR`` (when
+    set), so sweep compiles persist function artifacts and jit translations
+    through the same sharded store a daemon would use — ``run_sweep``'s own
+    fallback service is memory-only and was silently dropping them.
+    Either path is bit-identical; only where compiles happen and whether
+    artifacts outlive the process differ.
     """
-    from ..service import maybe_daemon_service
+    from ..service import CACHE_DIR_ENV, maybe_daemon_service
+    from ..service.cache import ArtifactCache
     from ..service.client import DaemonUnavailable, discover_client
+    from ..service.scheduler import CompileService
 
-    if getattr(args, "no_daemon", False):
-        return None
-    socket_spec = getattr(args, "socket", None)
-    service = maybe_daemon_service(socket_spec, max_workers=args.jobs)
-    if service is None and socket_spec:
-        # an explicitly named socket that does not answer is an error
-        discover_client(socket_spec, require=True)  # raises DaemonUnavailable
+    service = None
+    if not getattr(args, "no_daemon", False):
+        socket_spec = getattr(args, "socket", None)
+        service = maybe_daemon_service(socket_spec, max_workers=args.jobs)
+        if service is None and socket_spec:
+            # an explicitly named socket that does not answer is an error
+            discover_client(socket_spec, require=True)  # raises
     if service is not None:
         print(f"using compilation daemon at {service.socket_spec}",
               file=sys.stderr)
-    return service
+        return service
+    cache_dir = os.environ.get(CACHE_DIR_ENV) or None
+    return CompileService(ArtifactCache(cache_dir=cache_dir),
+                          max_workers=args.jobs)
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
+    if args.no_jit_cache:
+        from ..service.jit_store import NO_JIT_CACHE_ENV
+        # env, not a parameter: pool workers and nested services inherit it
+        os.environ[NO_JIT_CACHE_ENV] = "1"
     configs = _parse_flows(args.flows)
     engines = _parse_engines(args.engines)
     seeds = range(args.start, args.start + args.seeds)
@@ -218,6 +232,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     run_p.add_argument("--no-daemon", action="store_true",
                        help="never use a compilation daemon, even if one "
                             "is running")
+    run_p.add_argument("--no-jit-cache", action="store_true",
+                       help="keep jit translations process-local (disable "
+                            "the persistent translation cache)")
     run_p.set_defaults(func=_cmd_run)
 
     repro_p = sub.add_parser("repro", help="re-check and shrink one seed")

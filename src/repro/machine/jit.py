@@ -31,16 +31,24 @@ flushed, so the Counter key sets also match.
 
 from __future__ import annotations
 
+import base64
 import itertools
+import marshal
+from collections import OrderedDict
+from importlib.util import MAGIC_NUMBER
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
 from ..ir import types as ir_types
 from ..ir.core import Block, Operation, Value
+from ..ir.structural_hash import fingerprint_block
+from . import semantics
 from .interpreter import (_BR_OPS, _COND_BR_OPS, _FLOAT_BINOPS, _INT_BINOPS,
                           _MATH_UNARY, _RETURN_OPS, _YIELD_OPS, _fusable,
                           Interpreter, InterpreterError)
+from .loop_patterns import (static_constant as _static_constant,
+                            static_trip_count as _static_trips)
 from .semantics import (CMPF, CMPI_SIGNED, CMPI_UNSIGNED, as_unsigned,
                         int_ceildiv, int_div, int_floordiv, int_rem, int_width)
 from .values import (Cell, ElementPtr, FortranArray, load_element,
@@ -79,14 +87,6 @@ _SIMPLE_INLINE = (frozenset({
     "fir.zero_bits", "fir.string_lit"})
     | frozenset(_FLOAT_BINOPS) | frozenset(_INT_BINOPS)
     | frozenset(_MATH_UNARY) | _POW_OPS | _FMA_OPS | _CAST_OPS)
-
-
-def _static_constant(value: Value):
-    """The Python value of ``value`` when defined by ``arith.constant``."""
-    op = getattr(value, "op", None)
-    if op is not None and op.name == "arith.constant":
-        return op.get_attr("value").value
-    return None
 
 
 def _coor_fusable(op: Operation, follower: Optional[Operation]) -> bool:
@@ -1084,53 +1084,244 @@ class _Emitter:
 
 
 # ---------------------------------------------------------------------------
-# Engine entry point
+# Engine entry point: the tiered, persistent translation cache
 # ---------------------------------------------------------------------------
 
 
-#: process-level translation cache: ``(block uid, check stride)`` ->
-#: ``(code object, namespace template, fallback binds, nops, source)``.
-#: The expensive work — planning, source emission, ``compile()`` — happens
-#: once per block per process; every further interpreter only copies the
+#: Version of the translation format: the emitted source shape, the payload
+#: layout stored on disk, and the meaning of the fingerprint salt.  Bump
+#: whenever :class:`_Emitter` changes its output for the same input block —
+#: every persisted translation then misses cleanly.
+JIT_FORMAT_VERSION = 1
+
+
+class _Translation:
+    """One process-cached translation, addressed by structural fingerprint.
+
+    ``code``/``nops``/``source`` are *structure-portable*: any block with
+    the same fingerprint executes the same code object.  ``template`` and
+    ``fallback_binds`` are not — the emitter binds live objects (``Value``
+    env keys, successor ``Block``s, ops backing fallback thunks) into the
+    namespace, so they are valid only for the exact block object they were
+    planned against.  ``block`` records that object; a fingerprint hit from
+    a *different* block object re-plans to rebuild the live bindings, then
+    reuses ``code`` when the regenerated source matches."""
+
+    __slots__ = ("code", "nops", "source", "block", "template",
+                 "fallback_binds")
+
+    def __init__(self, code, nops, source, block, template, fallback_binds):
+        self.code = code
+        self.nops = nops
+        self.source = source
+        self.block = block
+        self.template = template
+        self.fallback_binds = fallback_binds
+
+
+#: process-level translation cache: structural fingerprint (see
+#: :func:`translation_key`) -> :class:`_Translation`.  The expensive work —
+#: planning, source emission, ``compile()`` — happens once per block
+#: *structure* per process; every further interpreter only copies the
 #: namespace, rebinds its own ``_interp``/``_stats``/fallback thunks and
-#: ``exec``s the cached code object.  Keyed by the block's uid (unique for
-#: the process lifetime) plus the stride the source hard-codes in its
-#: execution-limit checks.
-_CODE_CACHE: Dict[Tuple[int, int], Tuple] = {}
+#: ``exec``s the cached code object.  Ordered for LRU eviction: overflow
+#: evicts the single least-recently-used entry, never the whole cache.
+_CODE_CACHE: "OrderedDict[str, _Translation]" = OrderedDict()
 _CODE_CACHE_MAX = 4096
 
+#: Optional persistent tier (installed by the service layer): an object
+#: with ``lookup(key) -> Optional[dict]``, ``store(key, payload)`` and
+#: ``contains(key) -> bool``.  ``None`` keeps the cache process-local.
+_TRANSLATION_STORE = None
 
-def _translation_for(interp: Interpreter, block: Block) -> Tuple:
-    key = (block._uid, interp._check_stride)
-    cached = _CODE_CACHE.get(key)
-    if cached is None:
-        plan = plan_block(block)
-        emitter = _Emitter(interp, plan)
-        source, ns = emitter.build()
-        code = compile(source, f"<jit:block{block._uid}>", "exec")
-        template = dict(ns)
-        del template["_interp"], template["_stats"]    # rebound per instance
-        if len(_CODE_CACHE) >= _CODE_CACHE_MAX:
-            _CODE_CACHE.clear()
-        cached = _CODE_CACHE[key] = (
-            code, template, tuple(emitter.fallback_binds),
-            max(1, len(plan.steps)), source)
-    return cached
+#: Monotonic process-wide counters over :func:`_translation_for` outcomes.
+_COUNTER_FIELDS = ("memory_hits", "disk_hits", "misses", "stores")
+_counters = dict.fromkeys(_COUNTER_FIELDS, 0)
 
 
-def compile_block(interp: Interpreter, block: Block):
+def set_translation_store(store) -> None:
+    """Install (or with ``None`` remove) the persistent translation tier."""
+    global _TRANSLATION_STORE
+    _TRANSLATION_STORE = store
+
+
+def get_translation_store():
+    return _TRANSLATION_STORE
+
+
+def translation_counters() -> Dict[str, float]:
+    """Translation-cache traffic: raw counters plus derived rates."""
+    snapshot = dict(_counters)
+    return _derive_counters(snapshot)
+
+
+def snapshot_translation_counters() -> Dict[str, int]:
+    return dict(_counters)
+
+
+def translation_counters_delta(before: Dict[str, int]) -> Dict[str, float]:
+    """Traffic since ``before`` (a :func:`snapshot_translation_counters`)."""
+    delta = {field: _counters[field] - before.get(field, 0)
+             for field in _COUNTER_FIELDS}
+    return _derive_counters(delta)
+
+
+def _derive_counters(raw: Dict[str, int]) -> Dict[str, float]:
+    hits = raw["memory_hits"] + raw["disk_hits"]
+    lookups = hits + raw["misses"]
+    raw["hits"] = hits
+    raw["lookups"] = lookups
+    raw["hit_rate"] = round(hits / lookups, 4) if lookups else 0.0
+    return raw
+
+
+def clear_translation_cache() -> None:
+    """Drop every in-process translation (tests simulate a fresh process);
+    the persistent tier and the counters are left untouched."""
+    _CODE_CACHE.clear()
+    _KEY_MEMO.clear()
+
+
+#: (block id, check stride) -> (block, semantics version, fingerprint).
+#: Fingerprinting walks the whole block; a process shared by many short
+#: interpreter instances (the bench's steady state, the daemon) would
+#: otherwise re-fingerprint every block once per instance.  The stored
+#: block reference both validates the id (``is`` check — a recycled id can
+#: never alias while the memo holds the old block alive) and ages out via
+#: LRU exactly like the translations themselves.
+_KEY_MEMO: "OrderedDict[Tuple[int, int], Tuple[Block, int, str]]" = \
+    OrderedDict()
+_KEY_MEMO_MAX = 8192
+
+
+def translation_key(block: Block, check_stride: int) -> str:
+    """Stable cross-process address of ``block``'s translation.
+
+    A structural fingerprint (:func:`fingerprint_block`) salted with the
+    translation-format version, the numeric-semantics version and the
+    check stride the generated source hard-codes into its execution-limit
+    checks.  Unlike the block's ``_uid`` — reused after unpickling and
+    meaningless across processes — the fingerprint is identical for every
+    rebuild of the same block, and distinct for structurally different
+    blocks even when their uids collide."""
+    sem_version = semantics.SEMANTICS_VERSION
+    memo_key = (id(block), check_stride)
+    cached = _KEY_MEMO.get(memo_key)
+    if cached is not None and cached[0] is block and cached[1] == sem_version:
+        _KEY_MEMO.move_to_end(memo_key)
+        return cached[2]
+    salt = (f"jit:v{JIT_FORMAT_VERSION}"
+            f":sem{sem_version}"
+            f":stride{check_stride}")
+    key = fingerprint_block(block, salt=salt)
+    if memo_key not in _KEY_MEMO and len(_KEY_MEMO) >= _KEY_MEMO_MAX:
+        _KEY_MEMO.popitem(last=False)
+    _KEY_MEMO[memo_key] = (block, sem_version, key)
+    return key
+
+
+def _payload_for(source: str, code, nops: int) -> Dict:
+    """Disk form of one translation: source of record plus a bytecode
+    fast path valid only under the exact same interpreter build."""
+    return {"format": JIT_FORMAT_VERSION,
+            "source": source,
+            "nops": nops,
+            "magic": MAGIC_NUMBER.hex(),
+            "bytecode": base64.b64encode(marshal.dumps(code)).decode()}
+
+
+def _code_from_payload(payload: Dict, filename: str):
+    """Code object for a stored payload: unmarshal the persisted bytecode
+    when the interpreter magic matches, else recompile the stored source
+    (the source is authoritative; bytecode is only a shortcut)."""
+    if payload.get("magic") == MAGIC_NUMBER.hex():
+        try:
+            return marshal.loads(base64.b64decode(payload["bytecode"]))
+        except Exception:
+            pass
+    return compile(payload["source"], filename, "exec")
+
+
+def _translation_for(interp: Interpreter, block: Block,
+                     key: Optional[str] = None) -> _Translation:
+    if key is None:
+        key = translation_key(block, interp._check_stride)
+    entry = _CODE_CACHE.get(key)
+    if entry is not None and entry.block is block:
+        _CODE_CACHE.move_to_end(key)
+        _counters["memory_hits"] += 1
+        return entry
+
+    # Either a true miss or a fingerprint hit from a different block
+    # object.  Both need a fresh plan/emit: the namespace template binds
+    # live objects, so only the compiled code is structure-portable.
+    plan = plan_block(block)
+    emitter = _Emitter(interp, plan)
+    source, ns = emitter.build()
+    template = dict(ns)
+    del template["_interp"], template["_stats"]    # rebound per instance
+    fallback_binds = tuple(emitter.fallback_binds)
+    nops = max(1, len(plan.steps))
+    filename = f"<jit:{key[:12]}>"
+
+    if entry is not None and entry.source == source:
+        # same structure, new block object: keep the code, repoint the
+        # instantiation material at this block's live objects
+        entry.block = block
+        entry.template = template
+        entry.fallback_binds = fallback_binds
+        _CODE_CACHE.move_to_end(key)
+        _counters["memory_hits"] += 1
+        return entry
+
+    store = _TRANSLATION_STORE
+    code = None
+    if entry is None and store is not None:
+        try:
+            payload = store.lookup(key)
+        except Exception:
+            payload = None
+        if payload is not None and payload.get("source") == source:
+            # source-verified: the stored translation provably generates
+            # the exact code this block needs, so warm behaviour is
+            # bit-identical by construction
+            try:
+                code = _code_from_payload(payload, filename)
+            except Exception:
+                code = None
+    if code is not None:
+        _counters["disk_hits"] += 1
+    else:
+        code = compile(source, filename, "exec")
+        _counters["misses"] += 1
+        if store is not None:
+            try:
+                store.store(key, _payload_for(source, code, nops))
+                _counters["stores"] += 1
+            except Exception:
+                pass
+
+    entry = _Translation(code, nops, source, block, template, fallback_binds)
+    if key not in _CODE_CACHE and len(_CODE_CACHE) >= _CODE_CACHE_MAX:
+        _CODE_CACHE.popitem(last=False)    # evict one LRU entry, not all
+    _CODE_CACHE[key] = entry
+    _CODE_CACHE.move_to_end(key)
+    return entry
+
+
+def compile_block(interp: Interpreter, block: Block,
+                  key: Optional[str] = None):
     """Translate ``block`` into one generated function; returns (fn, nops)."""
-    code, template, fallback_binds, nops, source = \
-        _translation_for(interp, block)
-    ns = dict(template)
+    entry = _translation_for(interp, block, key)
+    ns = dict(entry.template)
     ns["_interp"] = interp
     ns["_stats"] = interp.stats
-    for name, op in fallback_binds:
+    for name, op in entry.fallback_binds:
         ns[name] = Interpreter._compile_op(interp, op, None)
-    exec(code, ns)
+    exec(entry.code, ns)
     fn = ns["_jit_block"]
-    fn.__jit_source__ = source
-    return fn, nops
+    fn.__jit_source__ = entry.source
+    return fn, entry.nops
 
 
 #: entries of a cold block before translation pays for itself; colder
@@ -1138,32 +1329,6 @@ def compile_block(interp: Interpreter, block: Block):
 _PROMOTE_AFTER = 8
 #: estimated ops per entry above which translation pays off immediately
 _TRANSLATE_WORK = 1024
-
-
-def _static_trips(op: Operation) -> Optional[int]:
-    """Trip count of a loop whose bounds fold at jit-compile time."""
-    if op.name == "affine.for":
-        if op.lower_operands or op.upper_operands:
-            return None
-        lo = op.lower_bound_map.evaluate([])[0]
-        hi = op.upper_bound_map.evaluate([])[0]
-        st = op.step_value
-        if st <= 0:
-            return None
-        return max(0, -((lo - hi) // st))
-    lo = _static_constant(op.operands[0])
-    hi = _static_constant(op.operands[1])
-    st = _static_constant(op.operands[2])
-    if lo is None or hi is None or st is None:
-        return None
-    if op.name == "scf.for":
-        if st <= 0:
-            return None
-        return max(0, -((lo - hi) // st))
-    st = st if st != 0 else 1        # fir.do_loop: inclusive, step 0 -> 1
-    if st > 0:
-        return (hi - lo) // st + 1 if lo <= hi else 0
-    return (lo - hi) // (-st) + 1 if lo >= hi else 0
 
 
 def _estimated_work(block: Block) -> Optional[int]:
@@ -1200,25 +1365,54 @@ class JitEngine:
     has been entered :data:`_PROMOTE_AFTER` times.  Both tiers are
     observationally bit-identical, so the mix never shows in stats."""
 
-    __slots__ = ("interp", "cache", "entries")
+    __slots__ = ("interp", "cache", "entries", "keys", "known")
 
     def __init__(self, interp: Interpreter):
         self.interp = interp
         self.cache: Dict[Block, Tuple] = {}
         self.entries: Dict[Block, int] = {}
+        #: Block -> structural fingerprint, computed once per block.
+        self.keys: Dict[Block, str] = {}
+        #: fingerprint -> persistent-tier ``contains`` verdict, memoised so
+        #: the tiering bypass costs one disk probe per structure, not one
+        #: per cold entry.
+        self.known: Dict[str, bool] = {}
+
+    def _key_for(self, block: Block) -> str:
+        key = self.keys.get(block)
+        if key is None:
+            key = self.keys[block] = \
+                translation_key(block, self.interp._check_stride)
+        return key
+
+    def _translated(self, key: str) -> bool:
+        """Is a translation already available (memory or disk) for pennies?"""
+        if key in _CODE_CACHE:
+            return True
+        known = self.known.get(key)
+        if known is None:
+            store = _TRANSLATION_STORE
+            try:
+                known = store is not None and bool(store.contains(key))
+            except Exception:
+                known = False
+            self.known[key] = known
+        return known
 
     def run_block(self, block: Block, env: Dict) -> Tuple[str, object]:
         entry = self.cache.get(block)
         if entry is None:
-            # a process-cached translation instantiates for pennies — use
-            # it regardless of how cold this block looks to the tiering
-            if (block._uid, self.interp._check_stride) not in _CODE_CACHE \
-                    and not _worth_translating(block):
+            # an already-available translation (this process or the
+            # persistent tier) instantiates for pennies — use it
+            # regardless of how cold this block looks to the tiering
+            key = self._key_for(block)
+            if not self._translated(key) and not _worth_translating(block):
                 count = self.entries.get(block, 0)
                 if count < _PROMOTE_AFTER:
                     self.entries[block] = count + 1
                     return self.interp._run_block_compiled(block, env)
-            entry = self.cache[block] = compile_block(self.interp, block)
+            entry = self.cache[block] = \
+                compile_block(self.interp, block, key=key)
         fn, nops = entry
         interp = self.interp
         budget = interp._budget - nops
@@ -1236,4 +1430,8 @@ class JitEngine:
         return entry[0].__jit_source__
 
 
-__all__ = ["JitEngine", "compile_block", "plan_block"]
+__all__ = ["JitEngine", "compile_block", "plan_block",
+           "translation_key", "set_translation_store",
+           "get_translation_store", "translation_counters",
+           "snapshot_translation_counters", "translation_counters_delta",
+           "clear_translation_cache", "JIT_FORMAT_VERSION"]

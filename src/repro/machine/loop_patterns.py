@@ -61,9 +61,70 @@ REDUCE_COMBINERS = frozenset({
 _SCALAR_TYPES = (ir_types.FloatType, ir_types.IntegerType,
                  ir_types.IndexType)
 
+#: Static per-entry work (trip-counted op executions) below which
+#: whole-array evaluation loses to the iterative thunks: one nest
+#: evaluation pays a fixed planning + array-materialization overhead that
+#: only amortizes over enough element operations.  Nests with runtime
+#: bounds estimate to ``None`` and are assumed hot.
+VECTOR_WORK_FLOOR = 2048
+
 
 def _is_scalar_type(t) -> bool:
     return isinstance(t, _SCALAR_TYPES)
+
+
+def static_constant(value: Value):
+    """The Python value of ``value`` when defined by ``arith.constant``."""
+    op = getattr(value, "op", None)
+    if op is not None and op.name == "arith.constant":
+        return op.get_attr("value").value
+    return None
+
+
+def static_trip_count(op: Operation) -> Optional[int]:
+    """Trip count of a loop whose bounds fold at compile time, else None."""
+    if op.name == "affine.for":
+        if op.lower_operands or op.upper_operands:
+            return None
+        lo = op.lower_bound_map.evaluate([])[0]
+        hi = op.upper_bound_map.evaluate([])[0]
+        st = op.step_value
+        if st <= 0:
+            return None
+        return max(0, -((lo - hi) // st))
+    lo = static_constant(op.operands[0])
+    hi = static_constant(op.operands[1])
+    st = static_constant(op.operands[2])
+    if lo is None or hi is None or st is None:
+        return None
+    if op.name == "scf.for":
+        if st <= 0:
+            return None
+        return max(0, -((lo - hi) // st))
+    st = st if st != 0 else 1        # fir.do_loop: inclusive, step 0 -> 1
+    if st > 0:
+        return (hi - lo) // st + 1 if lo <= hi else 0
+    return (lo - hi) // (-st) + 1 if lo >= hi else 0
+
+
+def estimated_nest_work(op: Operation) -> Optional[int]:
+    """Rough op executions one run of nest ``op`` performs; ``None`` =
+    unknown (some bound only resolves at run time — assume hot)."""
+    trips = static_trip_count(op)
+    if trips is None:
+        return None
+    if not op.regions or len(op.regions[0].blocks) != 1:
+        return None
+    per_iteration = 1
+    for body_op in op.regions[0].blocks[0].ops:
+        if body_op.name in LOOP_OPS:
+            inner = estimated_nest_work(body_op)
+            if inner is None:
+                return None
+            per_iteration += inner
+        else:
+            per_iteration += 1
+    return trips * per_iteration
 
 
 def stats_category(op: Operation) -> Optional[str]:
@@ -281,5 +342,6 @@ def match_nest(loop_op: Operation) -> Optional[NestPlan]:
     return plan
 
 
-__all__ = ["LOOP_OPS", "REDUCE_COMBINERS", "LoopInfo", "NestPlan",
-           "Reduction", "match_nest", "stats_category"]
+__all__ = ["LOOP_OPS", "REDUCE_COMBINERS", "VECTOR_WORK_FLOOR", "LoopInfo",
+           "NestPlan", "Reduction", "match_nest", "stats_category",
+           "static_constant", "static_trip_count", "estimated_nest_work"]

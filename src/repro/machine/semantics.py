@@ -28,6 +28,14 @@ import numpy as np
 
 from ..ir import types as ir_types
 
+#: Version of the numeric semantics every engine evaluates through.  Bump
+#: whenever any kernel in this module (or the generated-code emission that
+#: calls into it) changes observable behaviour: persisted jit translations
+#: are salted with this constant, so a bump retires every stored translation
+#: as a clean cache miss — exactly like the service's ``KEY_SCHEMA_VERSION``
+#: retires artifacts.
+SEMANTICS_VERSION = 1
+
 
 # ---------------------------------------------------------------------------
 # Integer division family (LLVM sdiv/srem + MLIR floordivsi/ceildivsi)
@@ -189,4 +197,5 @@ CMPF = {
 
 __all__ = ["int_div", "int_rem", "int_floordiv", "int_ceildiv",
            "CMPI_SIGNED", "CMPI_UNSIGNED", "CMPF",
-           "int_width", "as_unsigned", "cmpi_eval", "either_nan"]
+           "int_width", "as_unsigned", "cmpi_eval", "either_nan",
+           "SEMANTICS_VERSION"]

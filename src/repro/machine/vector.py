@@ -42,7 +42,8 @@ from ..ir import types as ir_types
 from .interpreter import (
     _FLOAT_BINOPS, _FUSED_WITH_NEXT, _INT_BINOPS, _MATH_UNARY,
     Interpreter)
-from .loop_patterns import _CAST_OPS, LOOP_OPS, match_nest
+from .loop_patterns import (_CAST_OPS, LOOP_OPS, VECTOR_WORK_FLOOR,
+                            estimated_nest_work, match_nest)
 from .semantics import (
     CMPF, CMPI_SIGNED, CMPI_UNSIGNED, as_unsigned, int_width)
 from .values import Cell, ElementPtr, FortranArray
@@ -953,6 +954,9 @@ class VectorEngine:
         #: static match accounting (for tooling / the examples demo)
         self.matched_sites = 0
         self.declined_sites = 0
+        #: matchable nests left iterative because their static work is too
+        #: small for whole-array evaluation to pay off
+        self.floor_declined_sites = 0
         #: dynamic accounting: whole-array evaluations vs iterative runs
         self.vector_runs = 0
         self.fallback_runs = 0
@@ -984,12 +988,17 @@ class VectorEngine:
                 continue
             follower = ops[position + 1] if position + 1 < len(ops) else None
             if op.name in LOOP_OPS:
-                plan = match_nest(op)
-                if plan is not None:
+                work = estimated_nest_work(op)
+                if work is not None and work < VECTOR_WORK_FLOOR:
+                    # tiny static nest: ndarray materialisation overhead
+                    # dwarfs the loop itself — stay iterative
+                    self.floor_declined_sites += 1
+                elif (plan := match_nest(op)) is not None:
                     self.matched_sites += 1
                     code.append(_NestThunk(self, op, plan))
                     continue
-                self.declined_sites += 1
+                else:
+                    self.declined_sites += 1
             thunk = interp._compile_op(op, follower)
             if thunk is _FUSED_WITH_NEXT:
                 thunk = interp._fused_thunk(op, follower)

@@ -311,6 +311,8 @@ class CompileDaemon:
             # function-granular incremental compilation hit rates (this
             # process's store + pool-worker deltas)
             "function_cache": self.service.function_counters(),
+            # persistent jit translation-cache traffic, same aggregation
+            "jit_cache": self.service.jit_counters(),
         }
 
     async def _op_execute(self, request: Dict[str, Any]) -> Dict[str, Any]:

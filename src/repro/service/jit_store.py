@@ -1,0 +1,106 @@
+"""Persistent jit translations: the service-side translation store.
+
+:class:`JitTranslationStore` adapts the shared
+:class:`~repro.service.cache.ArtifactCache` (memory LRU + sharded disk
+store) to the duck-typed ``lookup``/``store``/``contains`` protocol of
+:func:`repro.machine.jit.set_translation_store`.  Payloads are the jit's
+own format (source of record plus a magic-gated marshal bytecode fast
+path); this module only supplies the *addressing*: the block's structural
+fingerprint — already salted with :data:`~repro.machine.jit.JIT_FORMAT_VERSION`
+and :data:`~repro.machine.semantics.SEMANTICS_VERSION` — is mixed with the
+service-wide :data:`~repro.service.jobs.KEY_SCHEMA_VERSION` under a
+``jit-translation`` kind, so translations share the sharded store with
+whole-module and function-stage artifacts without ever colliding, and a
+schema bump retires all three artifact families at once.
+
+The hit/miss/store accounting lives in :mod:`repro.machine.jit` (the only
+place that knows whether a payload verified against the regenerated
+source); :meth:`repro.service.scheduler.CompileService.jit_counters`
+surfaces it, and the daemon's ``metrics`` verb reports it as
+``jit_cache``.
+
+``REPRO_NO_JIT_CACHE=1`` (or the ``--no-jit-cache`` CLI flags) is the
+kill-switch: :func:`install_jit_store` then leaves the jit cache
+process-local, exactly the pre-persistence behaviour.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import Dict, Optional
+
+from ..machine import jit as machine_jit
+from .cache import ArtifactCache
+
+#: Set to a non-empty value (other than ``0``) to keep jit translations
+#: process-local even when a persistent artifact cache is attached.
+NO_JIT_CACHE_ENV = "REPRO_NO_JIT_CACHE"
+
+
+def jit_cache_disabled() -> bool:
+    """Has the user switched off the persistent jit tier?"""
+    value = os.environ.get(NO_JIT_CACHE_ENV, "")
+    return bool(value) and value != "0"
+
+
+def _address(fingerprint: str) -> str:
+    """Content address for one stored translation.
+
+    Mixes the schema salt in *again* (the fingerprint already carries the
+    jit-format and semantics salts) so a :data:`KEY_SCHEMA_VERSION` bump
+    retires translations exactly like whole-module and function-stage
+    artifacts, and keeps the address space disjoint from both in the
+    shared :class:`ArtifactCache`.
+    """
+    from .jobs import KEY_SCHEMA_VERSION
+    blob = json.dumps({"kind": "jit-translation",
+                       "schema": KEY_SCHEMA_VERSION,
+                       "fingerprint": fingerprint},
+                      sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+class JitTranslationStore:
+    """Fingerprint-addressed translation payloads in an artifact cache."""
+
+    def __init__(self, cache: ArtifactCache):
+        self._cache = cache
+
+    @property
+    def cache(self) -> ArtifactCache:
+        return self._cache
+
+    def lookup(self, fingerprint: str) -> Optional[Dict]:
+        payload = self._cache.get(_address(fingerprint))
+        if isinstance(payload, dict) and isinstance(payload.get("source"),
+                                                    str):
+            return payload
+        return None    # corrupt/foreign payload: a miss, never an error
+
+    def store(self, fingerprint: str, payload: Dict) -> None:
+        self._cache.put(_address(fingerprint), payload)
+
+    def contains(self, fingerprint: str) -> bool:
+        return self._cache.contains(_address(fingerprint))
+
+
+def install_jit_store(cache: Optional[ArtifactCache]
+                      ) -> Optional[JitTranslationStore]:
+    """Wire the process's jit cache to ``cache``'s persistent tier.
+
+    Honours the :data:`NO_JIT_CACHE_ENV` kill-switch and only installs a
+    store when the cache actually persists (a memory-only cache would add
+    lookup overhead for no cross-process benefit).  Returns the installed
+    store, or ``None`` when the jit cache stays process-local.
+    """
+    if cache is None or jit_cache_disabled() or not cache.persistent:
+        return None
+    store = JitTranslationStore(cache)
+    machine_jit.set_translation_store(store)
+    return store
+
+
+__all__ = ["JitTranslationStore", "install_jit_store",
+           "jit_cache_disabled", "NO_JIT_CACHE_ENV"]

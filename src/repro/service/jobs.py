@@ -286,25 +286,30 @@ def execute_spec(spec: Dict[str, Any]) -> Tuple[str, Dict[str, Any]]:
 
 def execute_spec_timed(
         spec: Dict[str, Any]
-) -> Tuple[str, Dict[str, Any], float, Dict[str, int]]:
+) -> Tuple[str, Dict[str, Any], float, Dict[str, int], Dict[str, int]]:
     """Like :func:`execute_spec`, plus worker-side compile seconds and the
-    function-store counter delta this job caused.
+    function-store and jit-translation counter deltas this job caused.
 
     The elapsed time is measured inside the worker, so it is pure
-    compile+interpret time — pool queueing and pickling are excluded.  Both
+    compile+interpret time — pool queueing and pickling are excluded.  All
     extras travel next to the payload, never inside it: cached artifacts
     stay bit-identical whether or not their compile was timed.  The counter
-    delta lets the scheduler aggregate function-level hit rates across pool
-    workers, whose stores are per-process.
+    deltas let the scheduler aggregate function-level and translation-level
+    hit rates across pool workers, whose stores are per-process.
     """
     import time
 
+    from ..machine.jit import snapshot_translation_counters
     from .incremental import counters_delta, snapshot_counters
     before = snapshot_counters()
+    jit_before = snapshot_translation_counters()
     started = time.perf_counter()
     key, payload = execute_spec(spec)
     elapsed = time.perf_counter() - started
-    return key, payload, elapsed, counters_delta(before)
+    jit_after = snapshot_translation_counters()
+    jit_delta = {name: jit_after[name] - jit_before.get(name, 0)
+                 for name in jit_after}
+    return key, payload, elapsed, counters_delta(before), jit_delta
 
 
 __all__ = ["CompileJob", "CompiledArtifact", "ServiceError", "run_job",

@@ -22,11 +22,31 @@ from dataclasses import dataclass, field
 from threading import Lock
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+from ..machine.jit import snapshot_translation_counters
 from .cache import ArtifactCache
 from .incremental import (FunctionArtifactStore, get_function_store,
                           snapshot_counters)
+from .jit_store import JitTranslationStore, install_jit_store
 from .jobs import (CompiledArtifact, CompileJob, execute_spec_timed,
                    run_job)
+
+
+def _pool_worker_init(cache_dir: Optional[str]) -> None:
+    """Runs once in every pool worker: attach the parent's sharded store.
+
+    Worker processes get fresh, memory-only function and jit stores; this
+    binds both to the same persistent cache directory the parent service
+    uses, so per-function stages and jit translations compiled in workers
+    persist too (shard writes are atomic, so concurrent writers are safe).
+    """
+    if not cache_dir:
+        return
+    try:
+        cache = ArtifactCache(cache_dir=cache_dir)
+        get_function_store().attach_cache(cache)
+        install_jit_store(cache)
+    except Exception:
+        pass    # workers still compute correctly with process-local stores
 
 
 @dataclass
@@ -67,9 +87,16 @@ class CompileService:
         # restarts) alongside whole-module artifacts.
         self.function_store: FunctionArtifactStore = get_function_store()
         self.function_store.attach_cache(self.cache)
-        #: Function-store counter deltas reported back by pool workers,
-        #: whose process-local stores are invisible to ours.
+        # Same for jit translations: when the cache persists (and the
+        # kill-switch is off), translated blocks round-trip through the
+        # sharded store and survive restarts.
+        self.jit_store: Optional[JitTranslationStore] = \
+            install_jit_store(self.cache)
+        #: Function-store / jit-translation counter deltas reported back by
+        #: pool workers, whose process-local stores are invisible to ours.
         self._worker_fn_counters: Dict[str, int] = {
+            "memory_hits": 0, "disk_hits": 0, "misses": 0, "stores": 0}
+        self._worker_jit_counters: Dict[str, int] = {
             "memory_hits": 0, "disk_hits": 0, "misses": 0, "stores": 0}
 
     # --------------------------------------------------------------- single
@@ -161,14 +188,17 @@ class CompileService:
         if workers > 1 and len(remaining) > 1:
             try:
                 with ProcessPoolExecutor(
-                        max_workers=min(workers, len(remaining))) as pool:
+                        max_workers=min(workers, len(remaining)),
+                        initializer=_pool_worker_init,
+                        initargs=(self.cache.cache_dir,)) as pool:
                     futures = [(job,
                                 pool.submit(execute_spec_timed, job.spec()))
                                for job in remaining]
                     leftover: List[CompileJob] = []
                     for job, future in futures:
                         try:
-                            key, payload, elapsed, fn_delta = future.result()
+                            key, payload, elapsed, fn_delta, jit_delta = \
+                                future.result()
                         except Exception:
                             # worker infrastructure failure (broken pool,
                             # unpicklable state, ...): redo in-process below
@@ -180,6 +210,10 @@ class CompileService:
                             for name, count in fn_delta.items():
                                 self._worker_fn_counters[name] = (
                                     self._worker_fn_counters.get(name, 0)
+                                    + count)
+                            for name, count in jit_delta.items():
+                                self._worker_jit_counters[name] = (
+                                    self._worker_jit_counters.get(name, 0)
                                     + count)
                     remaining = leftover
             except Exception:
@@ -206,6 +240,20 @@ class CompileService:
         totals = snapshot_counters()
         with self._lock:
             for name, count in self._worker_fn_counters.items():
+                totals[name] = totals.get(name, 0) + count
+        hits = totals["memory_hits"] + totals["disk_hits"]
+        lookups = hits + totals["misses"]
+        totals["hits"] = hits
+        totals["lookups"] = lookups
+        totals["hit_rate"] = round(hits / lookups, 4) if lookups else 0.0
+        return totals
+
+    def jit_counters(self) -> Dict[str, Any]:
+        """Jit translation-cache accounting: this process's counters plus
+        the deltas pool workers reported with their results."""
+        totals = snapshot_translation_counters()
+        with self._lock:
+            for name, count in self._worker_jit_counters.items():
                 totals[name] = totals.get(name, 0) + count
         hits = totals["memory_hits"] + totals["disk_hits"]
         lookups = hits + totals["misses"]

@@ -144,6 +144,7 @@ def run_tables(tables: Optional[Sequence[str]] = None,
 
     return {"tables": results, "batch": batch, "counters": service.counters(),
             "function_counters": service.function_counters(),
+            "jit_counters": service.jit_counters(),
             "elapsed_s": {"batch": t_batch, "tables": t_tables,
                           "total": t_batch + t_tables}}
 

@@ -12,6 +12,7 @@ import pytest
 from repro.core.fir_to_standard import convert_fir_to_standard
 from repro.flang import FlangCompiler
 from repro.ir import StringAttr, structural_fingerprint
+from repro.ir.structural_hash import fingerprint_block
 
 TWO_FUNCS = """
 subroutine f1(n)
@@ -114,3 +115,90 @@ def test_operand_wiring_matters():
     target.set_operand(0, b)
     target.set_operand(1, a)
     assert structural_fingerprint(func) != before
+
+
+# ---------------------------------------------------------------------------
+# Block fingerprints: the persistent jit translation cache's address
+# ---------------------------------------------------------------------------
+
+def _entry_blocks(module):
+    return [func.regions[0].blocks[0] for func in _funcs(module)]
+
+
+class TestBlockFingerprint:
+    def test_rebuilt_frontend_run_collides(self):
+        # fresh uids, fresh objects — only structure survives, and the
+        # persistent cache's cross-process addressing depends on it
+        a, b = _compile_module(), _compile_module()
+        for ba, bb in zip(_entry_blocks(a), _entry_blocks(b)):
+            assert fingerprint_block(ba) == fingerprint_block(bb)
+
+    def test_different_blocks_differ(self):
+        b1, b2 = _entry_blocks(_compile_module())
+        assert fingerprint_block(b1) != fingerprint_block(b2)
+
+    def test_salt_separates(self):
+        block = _entry_blocks(_compile_module())[0]
+        assert fingerprint_block(block, salt="stride1") != \
+            fingerprint_block(block, salt="stride4096")
+
+    def test_block_and_function_hashes_are_distinct_schemes(self):
+        func = _funcs(_compile_module())[0]
+        block = func.regions[0].blocks[0]
+        assert fingerprint_block(block) != structural_fingerprint(func)
+
+    def test_external_constant_value_is_codegen_material(self):
+        # the jit emitter specializes loop code on statically known
+        # externally defined constants (e.g. a do-loop step's sign), so
+        # two blocks differing only in such a constant's *value* must
+        # address different translations
+        from repro.dialects import arith, scf
+        from repro.ir import Block
+        from repro.ir import types as T
+
+        def nest(step_value):
+            # bounds defined in a *dominating* block, loop in the
+            # fingerprinted one — the step reaches the emitter as an
+            # externally defined constant
+            defs = Block()
+            lo = arith.ConstantOp(0, T.index)
+            hi = arith.ConstantOp(8, T.index)
+            st = arith.ConstantOp(step_value, T.index)
+            defs.add_ops([lo, hi, st])
+            entry = Block()
+            loop = scf.ForOp(lo.result, hi.result, st.result)
+            entry.add_op(loop)
+            loop.regions[0].blocks[0].add_op(scf.YieldOp())
+            return entry
+
+        assert fingerprint_block(nest(1)) != fingerprint_block(nest(2))
+        assert fingerprint_block(nest(2)) == fingerprint_block(nest(2))
+
+    def test_remote_uses_are_codegen_material(self):
+        # a value consumed outside the fingerprinted tree must stay
+        # env-resident in generated code; consuming it or not changes
+        # the translation, so it must change the address
+        from repro.dialects import arith
+        from repro.ir import Block
+        from repro.ir import types as T
+
+        def block_with_leak(leak):
+            block = Block()
+            c = arith.ConstantOp(3, T.i32)
+            add = arith.AddIOp(c.result, c.result)
+            block.add_ops([c, add])
+            consumer = arith.AddIOp(add.result, add.result)
+            if leak:
+                # consumer lives OUTSIDE the fingerprinted block
+                Block().add_op(consumer)
+            else:
+                block.add_op(consumer)
+            return block, consumer
+
+        leaked, _ = block_with_leak(True)
+        local, consumer = block_with_leak(False)
+        # compare against the local block with its consumer removed, so
+        # both blocks hold the same two ops and differ only in whether
+        # `add` has a remote use
+        consumer.erase()
+        assert fingerprint_block(leaked) != fingerprint_block(local)

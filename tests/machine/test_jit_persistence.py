@@ -1,0 +1,386 @@
+"""Persistent jit translations: keying, eviction and the disk tier.
+
+The broad engine-parity guarantee lives in ``test_engine_parity``; these
+tests target the translation *cache* mechanics the persistence work fixed
+and introduced: bounded LRU eviction (a full cache evicts one entry, not
+all), fingerprint keying (structurally different blocks with colliding
+uids get distinct translations), the disk roundtrip (a simulated and a
+real fresh process compile from the stored source with bit-identical
+output and stats), version bumps as clean misses, and stale/corrupt
+payload handling (source of record wins, never an error).
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.flang import FlangCompiler
+from repro.machine import Interpreter
+from repro.machine import jit
+from repro.service.cache import ArtifactCache
+from repro.service.jit_store import JitTranslationStore
+from repro.service.serialization import stats_to_dict
+
+
+def _compile_fir(source: str):
+    return FlangCompiler().compile(source, stop_at="fir").fir_module
+
+
+def _program(body: str) -> str:
+    return f"program p\n  implicit none\n{body}\nend program p\n"
+
+
+#: hot enough (static work >= the jit's _TRANSLATE_WORK) to translate on
+#: first entry, so a single run_main exercises the full store pipeline
+LOOP_PROGRAM = _program("""
+  integer :: i
+  real(kind=8), dimension(1024) :: a
+  do i = 1, 1024
+    a(i) = real(i, 8) * 1.5d0 + 0.25d0
+  end do
+  print *, a(1), a(511), a(1024)
+""")
+
+
+def _loop_program(scale: str) -> str:
+    return _program(f"""
+  integer :: i
+  real(kind=8), dimension(1024) :: a
+  do i = 1, 1024
+    a(i) = real(i, 8) * {scale}
+  end do
+  print *, a(1), a(1024)
+""")
+
+
+def _entry_block(interp: Interpreter):
+    for name in ("_QQmain", "main", "MAIN"):
+        func = interp.functions.get(name)
+        if func is not None:
+            return func.regions[0].blocks[0]
+    raise AssertionError("module has no main program")
+
+
+def _run_jit(module):
+    interp = Interpreter(module, engine="jit")
+    interp.run_main()
+    return interp.printed, stats_to_dict(interp.stats)
+
+
+@pytest.fixture(autouse=True)
+def _isolated_translation_cache():
+    """Each test starts cold and leaves no store behind."""
+    saved = jit.get_translation_store()
+    jit.set_translation_store(None)
+    jit.clear_translation_cache()
+    yield
+    jit.set_translation_store(saved)
+    jit.clear_translation_cache()
+
+
+# ---------------------------------------------------------------------------
+# Bounded LRU eviction
+# ---------------------------------------------------------------------------
+
+class TestCodeCacheLRU:
+    def test_full_cache_evicts_one_entry_not_all(self, monkeypatch):
+        monkeypatch.setattr(jit, "_CODE_CACHE_MAX", 3)
+        modules = [_compile_fir(_loop_program(f"{k}.0d0"))
+                   for k in (2, 3, 5, 7)]
+        interps = [Interpreter(m, engine="jit") for m in modules]
+        keys = []
+        for interp in interps[:3]:
+            block = _entry_block(interp)
+            jit.compile_block(interp, block)
+            keys.append(jit.translation_key(block, interp._check_stride))
+        assert len(set(keys)) == 3
+        assert len(jit._CODE_CACHE) == 3
+
+        # touch the oldest entry so it becomes most-recently-used
+        jit.compile_block(interps[0], _entry_block(interps[0]))
+
+        # overflowing evicts exactly the single LRU entry (keys[1]) —
+        # the old behaviour cleared the whole cache here
+        block = _entry_block(interps[3])
+        jit.compile_block(interps[3], block)
+        key3 = jit.translation_key(block, interps[3]._check_stride)
+        assert len(jit._CODE_CACHE) == 3
+        assert keys[0] in jit._CODE_CACHE
+        assert keys[1] not in jit._CODE_CACHE
+        assert keys[2] in jit._CODE_CACHE
+        assert key3 in jit._CODE_CACHE
+
+    def test_refilling_evicted_entry_keeps_cache_bounded(self, monkeypatch):
+        monkeypatch.setattr(jit, "_CODE_CACHE_MAX", 2)
+        modules = [_compile_fir(_loop_program(f"{k}.0d0"))
+                   for k in (2, 3, 5)]
+        interps = [Interpreter(m, engine="jit") for m in modules]
+        for _ in range(2):    # cycle through all three twice
+            for interp in interps:
+                jit.compile_block(interp, _entry_block(interp))
+                assert len(jit._CODE_CACHE) <= 2
+
+
+# ---------------------------------------------------------------------------
+# Fingerprint keying vs uid aliasing
+# ---------------------------------------------------------------------------
+
+class TestUidCollision:
+    def test_colliding_uids_get_distinct_translations(self):
+        # a long-lived daemon can see two different blocks with the same
+        # _uid (uids restart after unpickling); the old (_uid, stride) key
+        # would alias their translations
+        mul = _program("""
+  integer :: i
+  real(kind=8), dimension(1024) :: a
+  do i = 1, 1024
+    a(i) = real(i, 8) * 2.0d0
+  end do
+  print *, a(1), a(1024)
+""")
+        add = _program("""
+  integer :: i
+  real(kind=8), dimension(1024) :: a
+  do i = 1, 1024
+    a(i) = real(i, 8) + 2.0d0
+  end do
+  print *, a(1), a(1024)
+""")
+        interp_a = Interpreter(_compile_fir(mul), engine="jit")
+        interp_b = Interpreter(_compile_fir(add), engine="jit")
+        block_a, block_b = _entry_block(interp_a), _entry_block(interp_b)
+        block_b._uid = block_a._uid
+        assert block_a._uid == block_b._uid
+
+        key_a = jit.translation_key(block_a, interp_a._check_stride)
+        key_b = jit.translation_key(block_b, interp_b._check_stride)
+        assert key_a != key_b
+
+        fn_a, _ = jit.compile_block(interp_a, block_a)
+        fn_b, _ = jit.compile_block(interp_b, block_b)
+        assert len(jit._CODE_CACHE) == 2
+        assert fn_a.__jit_source__ != fn_b.__jit_source__
+
+    def test_rebuilt_block_reuses_translation(self):
+        # the converse guarantee: fresh frontend run, entirely new uids
+        # and objects, same structure -> same key, no second translation
+        interp_a = Interpreter(_compile_fir(LOOP_PROGRAM), engine="jit")
+        interp_b = Interpreter(_compile_fir(LOOP_PROGRAM), engine="jit")
+        block_a, block_b = _entry_block(interp_a), _entry_block(interp_b)
+        assert block_a is not block_b
+        assert jit.translation_key(block_a, interp_a._check_stride) == \
+            jit.translation_key(block_b, interp_b._check_stride)
+
+        before = jit.snapshot_translation_counters()
+        jit.compile_block(interp_a, block_a)
+        jit.compile_block(interp_b, block_b)
+        delta = jit.translation_counters_delta(before)
+        assert delta["misses"] == 1
+        assert delta["memory_hits"] == 1
+        assert len(jit._CODE_CACHE) == 1
+
+
+# ---------------------------------------------------------------------------
+# The disk tier (simulated process restarts in-process)
+# ---------------------------------------------------------------------------
+
+class _TamperingStore:
+    """Wraps a real store, rewriting looked-up payloads (corruption sim)."""
+
+    def __init__(self, inner, rewrite):
+        self._inner = inner
+        self._rewrite = rewrite
+
+    def lookup(self, key):
+        payload = self._inner.lookup(key)
+        return self._rewrite(dict(payload)) if payload is not None else None
+
+    def store(self, key, payload):
+        self._inner.store(key, payload)
+
+    def contains(self, key):
+        return self._inner.contains(key)
+
+
+class TestDiskTier:
+    @pytest.fixture
+    def store(self, tmp_path):
+        return JitTranslationStore(
+            ArtifactCache(cache_dir=str(tmp_path / "artifacts")))
+
+    def _seed(self, store):
+        """Cold run that populates ``store``; returns (printed, stats)."""
+        jit.set_translation_store(store)
+        before = jit.snapshot_translation_counters()
+        printed, stats = _run_jit(_compile_fir(LOOP_PROGRAM))
+        delta = jit.translation_counters_delta(before)
+        assert delta["misses"] >= 1
+        assert delta["stores"] == delta["misses"]
+        assert delta["disk_hits"] == 0
+        return printed, stats
+
+    def test_fresh_process_compiles_from_stored_source(self, store):
+        printed, stats = self._seed(store)
+        jit.clear_translation_cache()    # simulate a fresh process
+
+        before = jit.snapshot_translation_counters()
+        warm_printed, warm_stats = _run_jit(_compile_fir(LOOP_PROGRAM))
+        delta = jit.translation_counters_delta(before)
+        assert delta["misses"] == 0
+        assert delta["disk_hits"] >= 1
+        assert warm_printed == printed
+        assert warm_stats == stats
+
+    def test_semantics_version_bump_is_clean_miss(self, store, monkeypatch):
+        from repro.machine import semantics
+        self._seed(store)
+        jit.clear_translation_cache()
+
+        monkeypatch.setattr(semantics, "SEMANTICS_VERSION",
+                            semantics.SEMANTICS_VERSION + 1)
+        before = jit.snapshot_translation_counters()
+        _run_jit(_compile_fir(LOOP_PROGRAM))
+        delta = jit.translation_counters_delta(before)
+        assert delta["disk_hits"] == 0
+        assert delta["misses"] >= 1
+        assert delta["stores"] == delta["misses"]    # re-stored under new key
+
+    def test_key_schema_version_bump_is_clean_miss(self, store, monkeypatch):
+        from repro.service import jobs
+        self._seed(store)
+        jit.clear_translation_cache()
+
+        monkeypatch.setattr(jobs, "KEY_SCHEMA_VERSION",
+                            jobs.KEY_SCHEMA_VERSION + 1)
+        before = jit.snapshot_translation_counters()
+        _run_jit(_compile_fir(LOOP_PROGRAM))
+        delta = jit.translation_counters_delta(before)
+        assert delta["disk_hits"] == 0
+        assert delta["misses"] >= 1
+
+    def test_stale_source_payload_is_a_miss_and_restored(self, store):
+        # a payload whose source does not match what this block generates
+        # (foreign interpreter build, partial write) must never be used
+        printed, stats = self._seed(store)
+        jit.clear_translation_cache()
+
+        def stale(payload):
+            payload["source"] = "def _jit_block(env):\n    return None\n"
+            return payload
+
+        jit.set_translation_store(_TamperingStore(store, stale))
+        before = jit.snapshot_translation_counters()
+        warm_printed, warm_stats = _run_jit(_compile_fir(LOOP_PROGRAM))
+        delta = jit.translation_counters_delta(before)
+        assert delta["disk_hits"] == 0
+        assert delta["misses"] >= 1
+        assert delta["stores"] == delta["misses"]
+        assert (warm_printed, warm_stats) == (printed, stats)
+
+    def test_corrupt_bytecode_falls_back_to_stored_source(self, store):
+        # the marshal fast path is only a shortcut: flipping its bytes
+        # must fall back to compiling the (verified) source, still a hit
+        printed, stats = self._seed(store)
+        jit.clear_translation_cache()
+
+        def corrupt(payload):
+            payload["bytecode"] = "AAAA"
+            return payload
+
+        jit.set_translation_store(_TamperingStore(store, corrupt))
+        before = jit.snapshot_translation_counters()
+        warm_printed, warm_stats = _run_jit(_compile_fir(LOOP_PROGRAM))
+        delta = jit.translation_counters_delta(before)
+        assert delta["disk_hits"] >= 1
+        assert delta["misses"] == 0
+        assert (warm_printed, warm_stats) == (printed, stats)
+
+    def test_jit_engine_promotes_cold_blocks_with_stored_translations(
+            self, store):
+        # tiering normally defers cold blocks to the compiled engine; a
+        # stored translation instantiates for pennies, so the engine must
+        # use it on first entry instead
+        cold = _program("""
+  integer :: i, total
+  total = 0
+  do i = 1, 4
+    total = total + i
+  end do
+  print *, total
+""")
+        jit.set_translation_store(store)
+        interp = Interpreter(_compile_fir(cold), engine="jit")
+        block = _entry_block(interp)
+        jit.compile_block(interp, block)    # force-translate + store
+        assert store.contains(
+            jit.translation_key(block, interp._check_stride))
+        jit.clear_translation_cache()
+
+        before = jit.snapshot_translation_counters()
+        interp2 = Interpreter(_compile_fir(cold), engine="jit")
+        interp2.run_main()
+        delta = jit.translation_counters_delta(before)
+        assert delta["disk_hits"] >= 1
+        assert _entry_block(interp2) in interp2._jit.cache
+
+
+# ---------------------------------------------------------------------------
+# The real thing: two separate OS processes sharing one store directory
+# ---------------------------------------------------------------------------
+
+_SUBPROCESS_DRIVER = """
+import json, sys
+from repro.flang import FlangCompiler
+from repro.machine import Interpreter
+from repro.machine import jit
+from repro.service.cache import ArtifactCache
+from repro.service.jit_store import JitTranslationStore
+from repro.service.serialization import stats_to_dict
+
+cache_dir, source_path = sys.argv[1], sys.argv[2]
+jit.set_translation_store(JitTranslationStore(ArtifactCache(cache_dir=cache_dir)))
+with open(source_path) as fh:
+    source = fh.read()
+module = FlangCompiler().compile(source, stop_at="fir").fir_module
+before = jit.snapshot_translation_counters()
+interp = Interpreter(module, engine="jit")
+interp.run_main()
+print(json.dumps({
+    "counters": jit.translation_counters_delta(before),
+    "printed": interp.printed,
+    "stats": stats_to_dict(interp.stats),
+}))
+"""
+
+
+class TestCrossProcess:
+    def test_translate_once_fresh_process_compiles_from_store(self, tmp_path):
+        source_path = tmp_path / "program.f90"
+        source_path.write_text(LOOP_PROGRAM)
+        cache_dir = tmp_path / "artifacts"
+
+        def run_once():
+            env = dict(os.environ)
+            root = os.path.dirname(os.path.dirname(os.path.dirname(
+                os.path.abspath(__file__))))
+            env["PYTHONPATH"] = os.path.join(root, "src")
+            proc = subprocess.run(
+                [sys.executable, "-c", _SUBPROCESS_DRIVER,
+                 str(cache_dir), str(source_path)],
+                capture_output=True, text=True, env=env, timeout=300)
+            assert proc.returncode == 0, proc.stderr
+            return json.loads(proc.stdout.strip().splitlines()[-1])
+
+        cold, warm = run_once(), run_once()
+        assert cold["counters"]["misses"] >= 1
+        assert cold["counters"]["stores"] == cold["counters"]["misses"]
+        # the second process never ran a frontend-to-jit translation: every
+        # translated block came off disk, bit-identical
+        assert warm["counters"]["misses"] == 0
+        assert warm["counters"]["disk_hits"] >= 1
+        assert warm["counters"]["hit_rate"] == 1.0
+        assert warm["printed"] == cold["printed"]
+        assert warm["stats"] == cold["stats"]

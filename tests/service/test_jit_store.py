@@ -1,0 +1,156 @@
+"""Service-side jit translation store: addressing, wiring, kill-switch.
+
+The translation *payloads* and their verification live in
+``repro.machine.jit`` (covered by ``tests/machine/test_jit_persistence``);
+this module tests the service glue: the content address keeps jit
+translations disjoint from the other artifact families in the shared
+sharded store, :func:`install_jit_store` only wires persistent caches (and
+honours ``REPRO_NO_JIT_CACHE``), :meth:`CompileService.jit_counters`
+surfaces the accounting, and ``repro.conformance run``'s fallback service
+persists through ``$REPRO_CACHE_DIR`` like a daemon would.
+"""
+
+import argparse
+
+import pytest
+
+from repro.machine import jit as machine_jit
+from repro.service.cache import ArtifactCache
+from repro.service.jit_store import (NO_JIT_CACHE_ENV, JitTranslationStore,
+                                     _address, install_jit_store,
+                                     jit_cache_disabled)
+from repro.service.scheduler import CompileService
+
+
+@pytest.fixture(autouse=True)
+def _isolated_translation_store():
+    saved = machine_jit.get_translation_store()
+    machine_jit.set_translation_store(None)
+    yield
+    machine_jit.set_translation_store(saved)
+    machine_jit.clear_translation_cache()
+
+
+class TestAddressing:
+    def test_disjoint_from_function_stage_artifacts(self):
+        # the three artifact families share one sharded store; identical
+        # fingerprint strings must never collide across kinds
+        from repro.service.incremental import _address as fn_address
+        fingerprint = "feed" * 16
+        assert _address(fingerprint) != fn_address(fingerprint)
+        assert _address(fingerprint) != fingerprint
+
+    def test_schema_version_is_address_material(self, monkeypatch):
+        from repro.service import jobs
+        fingerprint = "beef" * 16
+        before = _address(fingerprint)
+        monkeypatch.setattr(jobs, "KEY_SCHEMA_VERSION",
+                            jobs.KEY_SCHEMA_VERSION + 1)
+        assert _address(fingerprint) != before
+
+    def test_distinct_fingerprints_distinct_addresses(self):
+        assert _address("a" * 64) != _address("b" * 64)
+
+
+class TestStoreProtocol:
+    def test_roundtrip(self, tmp_path):
+        store = JitTranslationStore(ArtifactCache(cache_dir=str(tmp_path)))
+        payload = {"format": 1, "source": "def _jit_block(env): pass\n",
+                   "nops": 3}
+        fingerprint = "c0de" * 16
+        assert store.lookup(fingerprint) is None
+        assert not store.contains(fingerprint)
+        store.store(fingerprint, payload)
+        assert store.contains(fingerprint)
+        assert store.lookup(fingerprint) == payload
+
+    def test_corrupt_payload_is_a_miss_not_an_error(self, tmp_path):
+        cache = ArtifactCache(cache_dir=str(tmp_path))
+        store = JitTranslationStore(cache)
+        fingerprint = "bad0" * 16
+        cache.put(_address(fingerprint), {"format": 1, "nops": 3})  # no source
+        assert store.lookup(fingerprint) is None
+
+
+class TestInstall:
+    def test_memory_only_cache_stays_process_local(self):
+        # no disk tier -> lookups would cost overhead for zero
+        # cross-process benefit
+        assert install_jit_store(ArtifactCache()) is None
+        assert machine_jit.get_translation_store() is None
+
+    def test_none_cache_stays_process_local(self):
+        assert install_jit_store(None) is None
+
+    def test_persistent_cache_installs_store(self, tmp_path):
+        cache = ArtifactCache(cache_dir=str(tmp_path))
+        store = install_jit_store(cache)
+        assert isinstance(store, JitTranslationStore)
+        assert machine_jit.get_translation_store() is store
+        assert store.cache is cache
+
+    def test_kill_switch_env(self, tmp_path, monkeypatch):
+        cache = ArtifactCache(cache_dir=str(tmp_path))
+        monkeypatch.setenv(NO_JIT_CACHE_ENV, "1")
+        assert jit_cache_disabled()
+        assert install_jit_store(cache) is None
+        assert machine_jit.get_translation_store() is None
+
+        monkeypatch.setenv(NO_JIT_CACHE_ENV, "0")    # explicit off = on
+        assert not jit_cache_disabled()
+        assert install_jit_store(cache) is not None
+
+
+class TestServiceCounters:
+    def test_jit_counters_shape_and_worker_merge(self, tmp_path):
+        service = CompileService(ArtifactCache(cache_dir=str(tmp_path)))
+        assert service.jit_store is not None
+        counters = service.jit_counters()
+        for field in ("memory_hits", "disk_hits", "misses", "stores",
+                      "hits", "lookups", "hit_rate"):
+            assert field in counters
+
+        # pool workers report their process-local deltas back; they must
+        # show up in the service-level totals
+        with service._lock:
+            service._worker_jit_counters["disk_hits"] += 5
+            service._worker_jit_counters["misses"] += 5
+        merged = service.jit_counters()
+        assert merged["disk_hits"] == counters["disk_hits"] + 5
+        assert merged["lookups"] >= counters["lookups"] + 10
+
+    def test_memory_only_service_has_no_jit_store(self):
+        assert CompileService(ArtifactCache()).jit_store is None
+
+
+class TestConformanceServiceBinding:
+    def test_sweep_fallback_binds_to_cache_dir_env(self, tmp_path,
+                                                   monkeypatch):
+        # ISSUE satellite: `repro.conformance run` must persist artifacts
+        # through the sharded store instead of a silent memory-only cache
+        from repro.conformance.__main__ import _sweep_service
+        from repro.service import CACHE_DIR_ENV
+
+        monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path / "store"))
+        args = argparse.Namespace(no_daemon=True, jobs=1, socket=None)
+        service = _sweep_service(args)
+        assert service.cache.persistent
+        assert str(service.cache.cache_dir) == str(tmp_path / "store")
+        assert service.jit_store is not None
+        assert service.jit_store.cache is service.cache
+
+    def test_sweep_persists_function_artifacts(self, tmp_path, monkeypatch):
+        from repro.conformance.oracle import run_sweep
+        from repro.service import CACHE_DIR_ENV
+
+        monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path / "store"))
+        from repro.conformance.__main__ import _sweep_service
+        args = argparse.Namespace(no_daemon=True, jobs=1, socket=None)
+        service = _sweep_service(args)
+        report = run_sweep([3], engines=["compiled", "jit"], service=service)
+        assert report.seeds == [3]
+        # compiles flowed through the persistent store: function-stage
+        # artifacts survive for the next process
+        assert service.function_store.counters.as_dict()["stores"] > 0
+        shards = list((tmp_path / "store" / "shards").glob("*.json"))
+        assert shards, "sweep stored nothing in the sharded disk store"
