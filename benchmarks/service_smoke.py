@@ -10,10 +10,16 @@ one persistent store:
 * **daemon** — a live ``repro.service serve`` daemon on the same store,
   driven twice through the socket so the second batch measures the warm
   long-lived path; the daemon's own ``metrics`` hit rate must clear 0.9.
+  A third batch runs under an injected fault plan that drops every
+  request's first connection attempt, pricing the client's
+  retry/reconnect path: the batch must still complete daemon-served
+  (zero degradations) and its overhead plus the retry counters land in
+  the report.
 
 Wall-clock numbers go to ``BENCH_service.json`` so CI can track the
 performance trajectory.  Exits non-zero if the warm run recompiled
-anything, failed to beat the cold run, or the daemon hit rate fell short.
+anything, failed to beat the cold run, the daemon hit rate fell short,
+or the faulted batch degraded to in-process execution.
 
 Usage: ``PYTHONPATH=src python benchmarks/service_smoke.py [output.json]``
 """
@@ -28,12 +34,16 @@ import time
 from datetime import datetime, timezone
 
 from repro.service import ArtifactCache, CompileService, run_tables
+from repro.service import faults
 from repro.service.client import DaemonClient, DaemonUnavailable, \
     maybe_daemon_service
 
 TABLES = ["table3", "figure3"]
 DEFAULT_OUTPUT = "BENCH_service.json"
 DAEMON_HIT_RATE_FLOOR = 0.9
+# drop the first connection attempt of every request: each op retries
+# exactly once and must still be served by the daemon
+FAULT_PLAN = "seed=3;client.send.drop:p=1,attempt=0"
 
 
 def timed_run(cache_dir: str, workers: int):
@@ -59,8 +69,10 @@ def wait_for_daemon(socket_path: str, deadline_s: float = 20.0) -> None:
 
 
 def timed_daemon_runs(cache_dir: str, socket_path: str, workers: int):
-    """Two run-tables batches through a served socket; returns the second
-    (warm) wall clock plus the daemon's own metrics."""
+    """Two clean run-tables batches through a served socket, then a third
+    under an injected connection-drop plan; returns the second (warm)
+    wall clock, the daemon's own metrics, and the faulted batch's
+    wall clock + retry counters."""
     env = dict(os.environ)
     env.setdefault("PYTHONPATH", "src")
     proc = subprocess.Popen(
@@ -80,11 +92,29 @@ def timed_daemon_runs(cache_dir: str, socket_path: str, workers: int):
             assert service.recompilations == 0, \
                 "daemon client must not compile in-process"
             service.client.close()
+        # degraded-mode pricing: same warm batch, every request's first
+        # connection attempt dropped (client-side only, export=False so
+        # the daemon process never sees the plan)
+        plan = faults.FaultPlan.from_spec(FAULT_PLAN)
+        with faults.install(plan, export=False):
+            service = maybe_daemon_service(socket_path, max_workers=workers)
+            assert service is not None, "daemon did not answer discovery"
+            t0 = time.perf_counter()
+            run_tables(tables=TABLES, service=service)
+            faulty_s = time.perf_counter() - t0
+        faulty = {
+            "plan": FAULT_PLAN,
+            "elapsed_s": round(faulty_s, 4),
+            "retries": service.client.retries,
+            "reconnects": service.client.reconnects,
+            "degraded": service.degraded,
+        }
+        service.client.close()
         with DaemonClient(socket_path) as client:
             metrics = client.metrics()
             client.shutdown()
         proc.wait(timeout=20)
-        return timings[1], metrics
+        return timings[1], metrics, faulty
     finally:
         if proc.poll() is None:
             proc.terminate()
@@ -97,7 +127,7 @@ def main() -> int:
     with tempfile.TemporaryDirectory(prefix="repro-bench-") as cache_dir:
         cold_s, cold_service, cold_result = timed_run(cache_dir, workers=2)
         warm_s, warm_service, _ = timed_run(cache_dir, workers=2)
-        daemon_s, daemon_metrics = timed_daemon_runs(
+        daemon_s, daemon_metrics, faulty = timed_daemon_runs(
             cache_dir, os.path.join(cache_dir, "bench.sock"), workers=2)
 
     report = {
@@ -115,6 +145,9 @@ def main() -> int:
         "daemon_hit_rate": daemon_metrics["hit_rate"],
         "daemon_coalesced": daemon_metrics["coalesced"],
         "daemon_compiled": daemon_metrics["compiled"],
+        "daemon_faulted": dict(
+            faulty,
+            overhead_s=round(faulty["elapsed_s"] - daemon_s, 4)),
         "batch": cold_result["batch"].as_dict(),
         "warm_counters": warm_service.counters(),
     }
@@ -134,10 +167,20 @@ def main() -> int:
         print(f"FAIL: daemon hit rate {report['daemon_hit_rate']} "
               f"did not clear {DAEMON_HIT_RATE_FLOOR}", file=sys.stderr)
         return 1
+    if faulty["degraded"]:
+        print("FAIL: faulted batch degraded to in-process execution "
+              "instead of retrying through the daemon", file=sys.stderr)
+        return 1
+    if faulty["retries"] == 0:
+        print("FAIL: fault plan did not exercise the retry path",
+              file=sys.stderr)
+        return 1
     print(f"OK: warm {warm_s:.2f}s / daemon {daemon_s:.2f}s vs cold "
           f"{cold_s:.2f}s ({report['speedup']}x / "
           f"{report['daemon_speedup']}x), zero warm recompilations, "
-          f"daemon hit rate {report['daemon_hit_rate']}")
+          f"daemon hit rate {report['daemon_hit_rate']}, faulted batch "
+          f"{faulty['elapsed_s']:.2f}s with {faulty['retries']} retries "
+          f"and zero degradations")
     return 0
 
 

@@ -14,6 +14,7 @@ Examples::
 
     python -m repro.conformance run --seeds 200 --jobs 8
     python -m repro.conformance run --seeds 64 --out conformance-repros
+    python -m repro.conformance run --seeds 16 --jobs 4 --chaos 0
     python -m repro.conformance repro --seed 1337
     python -m repro.conformance show --seed 7
 """
@@ -127,6 +128,18 @@ def _cmd_run(args: argparse.Namespace) -> int:
     engines = _parse_engines(args.engines)
     seeds = range(args.start, args.start + args.seeds)
 
+    if args.chaos is not None:
+        from .chaos import quarantine_demo, run_chaos
+        report = run_chaos(
+            seeds, range(args.chaos, args.chaos + args.chaos_plans),
+            configs=configs, engines=engines, jobs=max(2, args.jobs))
+        print(report.summary())
+        demo = quarantine_demo(jobs=max(2, args.jobs))
+        print(f"quarantine demo: counters {demo['counters']}, "
+              f"poison artifact cached: {demo['poisoned']}, "
+              f"innocent batch-mate ok: {demo['innocent_ok']}")
+        return 0 if report.ok and demo["ok"] else 1
+
     def progress(seed: int, report: KernelReport) -> None:
         if not report.ok:
             print(f"seed {seed}: DIVERGENT "
@@ -235,6 +248,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     run_p.add_argument("--no-jit-cache", action="store_true",
                        help="keep jit translations process-local (disable "
                             "the persistent translation cache)")
+    run_p.add_argument("--chaos", type=int, default=None, metavar="SEED",
+                       help="chaos mode: rerun the sweep under seeded "
+                            "fault-injection plans and require results "
+                            "bit-identical to the fault-free baseline")
+    run_p.add_argument("--chaos-plans", type=int, default=3, metavar="N",
+                       help="number of fault plans to sweep in chaos mode "
+                            "(plan seeds SEED..SEED+N-1; default 3)")
     run_p.set_defaults(func=_cmd_run)
 
     repro_p = sub.add_parser("repro", help="re-check and shrink one seed")

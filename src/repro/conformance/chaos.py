@@ -1,0 +1,241 @@
+"""Chaos conformance: fault-injected sweeps must match fault-free sweeps.
+
+The chaos harness closes the loop on the service stack's fault tolerance.
+A **baseline** sweep runs the differential oracle with no faults armed and
+records every ``(seed, flow config, engine)`` observation.  Then, for each
+chaos plan seed, :meth:`~repro.service.faults.FaultPlan.random` derives a
+replayable plan of *recoverable* faults (torn shard writes, corrupt
+payloads, attempt-0 worker crashes and hangs), the sweep reruns under that
+plan on a fresh cache directory, and the harness asserts
+
+* **bit-identity** — printed output, statistics, and error status of every
+  observation match the baseline exactly (faults may cost retries and
+  recompiles, never answers),
+* **zero unrecovered failures** — no divergent seeds, no quarantined jobs
+  under a recoverable plan, and
+* **bounded retries** — the scheduler's requeue count stays within the
+  ``max_attempts`` budget for the job population.
+
+Because every firing decision is a pure function of the plan seed (see
+:mod:`repro.service.faults`), a failing chaos run is replayable from its
+one-line spec: ``REPRO_FAULTS='<spec>' python -m repro.conformance run ...``.
+
+:func:`quarantine_demo` exercises the *unrecoverable* path on purpose: a
+job whose worker crashes on every attempt must end up quarantined as a
+cached poison artifact while its innocent batch-mates complete.
+
+CLI: ``python -m repro.conformance run --chaos <seed> [--chaos-plans N]``.
+"""
+
+from __future__ import annotations
+
+import shutil
+import sys
+import tempfile
+import time
+from dataclasses import dataclass, field
+from typing import (Any, Dict, Iterable, List, Optional, Sequence, TextIO,
+                    Tuple)
+
+from ..flows import ENGINES
+from ..service import CompileJob
+from ..service import faults
+from ..service.cache import ArtifactCache
+from ..service.scheduler import CompileService
+from .oracle import FlowConfig, default_configs, run_sweep
+
+#: ``(seed, config label, engine)`` -> ``(ok, printed, stats, error)``.
+ObservationMap = Dict[Tuple[int, str, str],
+                      Tuple[bool, Tuple[str, ...], Optional[Dict[str, Any]],
+                            str]]
+
+
+@dataclass
+class ChaosRun:
+    """One fault-injected sweep compared against the clean baseline."""
+
+    plan_seed: int
+    spec: str                                 # replay with $REPRO_FAULTS
+    mismatches: List[str] = field(default_factory=list)
+    unrecovered: List[str] = field(default_factory=list)
+    self_heal: Dict[str, int] = field(default_factory=dict)
+    fired: Dict[str, int] = field(default_factory=dict)
+    duration: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return not self.mismatches and not self.unrecovered
+
+
+@dataclass
+class ChaosReport:
+    """Outcome of a full chaos sweep (baseline + every fault plan)."""
+
+    seeds: List[int] = field(default_factory=list)
+    plan_seeds: List[int] = field(default_factory=list)
+    configs: List[str] = field(default_factory=list)
+    engines: List[str] = field(default_factory=list)
+    baseline_divergent: int = 0
+    baseline_duration: float = 0.0
+    runs: List[ChaosRun] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return self.baseline_divergent == 0 and all(r.ok for r in self.runs)
+
+    def summary(self) -> str:
+        status = "OK" if self.ok else "FAILED"
+        bad = [r for r in self.runs if not r.ok]
+        detail = f", {len(bad)} bad plan(s)" if bad else ""
+        retries = sum(r.self_heal.get("retries", 0) for r in self.runs)
+        crashes = sum(r.self_heal.get("pool_crashes", 0) for r in self.runs)
+        return (f"chaos sweep: {len(self.seeds)} seed(s) x "
+                f"{len(self.configs)} config(s) x {len(self.engines)} "
+                f"engine(s) under {len(self.runs)} fault plan(s) -> {status} "
+                f"(bit-identical to the fault-free baseline; {retries} "
+                f"retries, {crashes} pool rebuilds absorbed{detail})")
+
+
+def _sweep_once(seeds: Sequence[int], configs: Sequence[FlowConfig],
+                engines: Sequence[str], jobs: int
+                ) -> Tuple[ObservationMap, Any, CompileService]:
+    """One full oracle sweep on a fresh service + throwaway cache dir."""
+    cache_dir = tempfile.mkdtemp(prefix="repro-chaos-")
+    observations: ObservationMap = {}
+
+    def progress(seed, kernel_report) -> None:
+        for (label, engine), obs in kernel_report.observations.items():
+            observations[(seed, label, engine)] = (obs.ok, obs.printed,
+                                                   obs.stats, obs.error)
+
+    service = CompileService(ArtifactCache(cache_dir=cache_dir),
+                             max_workers=jobs)
+    try:
+        sweep = run_sweep(seeds, configs, engines=engines, max_workers=jobs,
+                          service=service, progress=progress)
+    finally:
+        shutil.rmtree(cache_dir, ignore_errors=True)
+    return observations, sweep, service
+
+
+def _diff_observations(baseline: ObservationMap,
+                       chaos: ObservationMap) -> List[str]:
+    """Human-readable list of every observation that is not bit-identical."""
+    problems: List[str] = []
+    for key in sorted(set(baseline) | set(chaos)):
+        seed, label, engine = key
+        if key not in baseline:
+            problems.append(f"seed {seed} {label}@{engine}: "
+                            f"present only under faults")
+        elif key not in chaos:
+            problems.append(f"seed {seed} {label}@{engine}: "
+                            f"missing under faults")
+        elif baseline[key] != chaos[key]:
+            b_ok, b_printed, b_stats, b_error = baseline[key]
+            c_ok, c_printed, c_stats, c_error = chaos[key]
+            if b_ok != c_ok:
+                what = f"ok {b_ok} != {c_ok} ({c_error or b_error})"
+            elif b_printed != c_printed:
+                what = "printed output differs"
+            elif b_stats != c_stats:
+                what = "execution statistics differ"
+            else:
+                what = "error text differs"
+            problems.append(f"seed {seed} {label}@{engine}: {what}")
+    return problems
+
+
+def run_chaos(seeds: Iterable[int], plan_seeds: Iterable[int], *,
+              configs: Optional[Sequence[FlowConfig]] = None,
+              engines: Optional[Sequence[str]] = None,
+              jobs: int = 2,
+              out: Optional[TextIO] = None) -> ChaosReport:
+    """Baseline sweep + one fault-injected sweep per plan seed.
+
+    ``jobs`` should be at least 2: worker crash/hang sites only live in
+    pool workers, and the scheduler goes through the pool only when it has
+    both multiple workers and multiple misses.
+    """
+    out = out if out is not None else sys.stderr
+    seeds = list(seeds)
+    plan_seeds = list(plan_seeds)
+    configs = list(configs) if configs is not None else default_configs()
+    engines = list(engines) if engines is not None else list(ENGINES)
+    report = ChaosReport(seeds=seeds, plan_seeds=plan_seeds,
+                         configs=[c.label for c in configs],
+                         engines=engines)
+
+    started = time.perf_counter()
+    baseline, baseline_sweep, _ = _sweep_once(seeds, configs, engines, jobs)
+    report.baseline_duration = time.perf_counter() - started
+    report.baseline_divergent = len(baseline_sweep.divergent)
+    print(f"chaos baseline: {len(baseline)} observation(s) in "
+          f"{report.baseline_duration:.1f}s"
+          + (f" — {report.baseline_divergent} DIVERGENT seed(s) "
+             f"(a conformance bug, not a fault-tolerance one)"
+             if report.baseline_divergent else ""),
+          file=out)
+
+    total_jobs = len(seeds) * len(configs) * len(engines)
+    for plan_seed in plan_seeds:
+        plan = faults.FaultPlan.random(plan_seed)
+        started = time.perf_counter()
+        with faults.install(plan):
+            observations, sweep, service = _sweep_once(seeds, configs,
+                                                       engines, jobs)
+        run = ChaosRun(plan_seed=plan_seed, spec=plan.to_spec(),
+                       self_heal=service.self_heal_counters(),
+                       fired=dict(plan.fired),
+                       duration=time.perf_counter() - started)
+        run.mismatches = _diff_observations(baseline, observations)
+        extra_divergent = len(sweep.divergent) - report.baseline_divergent
+        if extra_divergent > 0:
+            run.unrecovered.append(
+                f"{extra_divergent} seed(s) diverged only under faults")
+        if run.self_heal.get("quarantined"):
+            run.unrecovered.append(
+                f"{run.self_heal['quarantined']} job(s) quarantined under a "
+                f"recoverable plan")
+        retry_budget = total_jobs * service.max_attempts
+        if run.self_heal.get("retries", 0) > retry_budget:
+            run.unrecovered.append(
+                f"retries {run.self_heal['retries']} exceed the budget "
+                f"{retry_budget} ({total_jobs} jobs x "
+                f"{service.max_attempts} attempts)")
+        report.runs.append(run)
+        status = "ok" if run.ok else "FAILED"
+        print(f"chaos plan {plan_seed}: {status} in {run.duration:.1f}s — "
+              f"self-heal {run.self_heal}, fired {run.fired or '{}'}",
+              file=out)
+        for problem in run.mismatches[:8] + run.unrecovered:
+            print(f"  {problem}", file=out)
+        if not run.ok:
+            print(f"  replay: REPRO_FAULTS='{run.spec}'", file=out)
+    return report
+
+
+def quarantine_demo(jobs: int = 2) -> Dict[str, Any]:
+    """The unrecoverable path, end to end: a job whose worker crashes on
+    *every* attempt must land as a cached poison artifact (``ok=False``,
+    ``poisoned: True``) visible in the self-heal counters, while its
+    innocent batch-mates complete normally."""
+    plan = faults.FaultPlan.from_spec("seed=0;worker.crash:p=1,key=ours/sum")
+    service = CompileService(ArtifactCache(), max_workers=max(2, jobs))
+    with faults.install(plan):
+        batch = service.submit([CompileJob("ours", "sum"),
+                                CompileJob("ours", "dotproduct")])
+    counters = service.self_heal_counters()
+    poison = service.cache.get(CompileJob("ours", "sum").safe_key())
+    innocent = service.execute(CompileJob("ours", "dotproduct"))
+    poisoned = bool(poison and poison.get("poisoned") and not poison["ok"])
+    return {
+        "counters": counters,
+        "poisoned": poisoned,
+        "innocent_ok": innocent.ok,
+        "failures": list(batch.failures),
+        "ok": (poisoned and innocent.ok
+               and counters.get("quarantined") == 1),
+    }
+
+
+__all__ = ["ChaosReport", "ChaosRun", "quarantine_demo", "run_chaos"]

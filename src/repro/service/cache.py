@@ -25,6 +25,7 @@ from pathlib import Path
 from threading import Lock
 from typing import Any, Dict, Optional
 
+from . import faults
 from .sharded import DEFAULT_BYTE_BUDGET, SHARDED_FORMAT, ShardedStore
 
 #: On-disk layout version (distinct from the key schema salt).
@@ -103,6 +104,12 @@ class ArtifactCache:
                 return payload
         if self._store is not None:
             payload = self._store.get(key)
+            # Injected corruption *above* the store's checksum: what a bad
+            # deserialisation or a foreign writer would produce.  Consumers
+            # (scheduler, daemon, function/jit stores) must treat any
+            # malformed payload as a miss, never trust it.
+            payload = faults.corrupt_payload("cache.payload.corrupt",
+                                             payload, key=key)
             if payload is not None:
                 with self._lock:
                     self.counters.disk_hits += 1

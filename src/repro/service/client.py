@@ -4,7 +4,12 @@ Two layers:
 
 * :class:`DaemonClient` — blocking JSON-line protocol client (ping /
   metrics / shutdown / execute / compile_batch) over the daemon's unix
-  socket or ``tcp:HOST:PORT`` spec.
+  socket or ``tcp:HOST:PORT`` spec.  Connection-level failures — a daemon
+  restart, a dropped socket, a response line torn mid-JSON — are retried
+  with exponential backoff and deterministic jitter (``$REPRO_CLIENT_RETRIES``
+  attempts, reconnecting from scratch each time); every operation is
+  idempotent on the daemon side (content-addressed artifacts, coalesced
+  compiles), so a retry after a half-delivered request never double-compiles.
 * :class:`DaemonBackedService` — a drop-in :class:`CompileService` whose
   cache misses are served by a running daemon.  Jobs that cannot cross the
   socket (an attached workload that does not round-trip through its spec,
@@ -24,14 +29,17 @@ sets it for itself so its own compiles can never loop back).
 from __future__ import annotations
 
 import getpass
+import hashlib
 import json
 import logging
 import os
 import socket
 import tempfile
+import time
 from threading import Lock
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+from . import faults
 from .cache import ArtifactCache
 from .daemon import MAX_LINE_BYTES, parse_socket_spec
 from .jobs import KEY_SCHEMA_VERSION, CompiledArtifact, CompileJob
@@ -48,6 +56,34 @@ NO_DAEMON_ENV = "REPRO_NO_DAEMON"
 
 #: Seconds allowed for control operations (ping/metrics/shutdown).
 CONTROL_TIMEOUT = 10.0
+
+#: Environment override for the per-request attempt budget.
+RETRIES_ENV = "REPRO_CLIENT_RETRIES"
+
+#: Attempts per request (1 initial + retries) when the env says nothing.
+DEFAULT_REQUEST_ATTEMPTS = 3
+
+#: Exponential-backoff base and cap between attempts, seconds.
+BACKOFF_BASE_S = 0.05
+BACKOFF_CAP_S = 1.0
+
+
+def _env_attempts() -> int:
+    raw = os.environ.get(RETRIES_ENV)
+    if raw:
+        try:
+            return max(1, int(raw))
+        except ValueError:
+            logger.warning("ignoring non-integer $%s=%r", RETRIES_ENV, raw)
+    return DEFAULT_REQUEST_ATTEMPTS
+
+
+def _backoff_s(op: str, attempt: int) -> float:
+    """Backoff before retry ``attempt``: exponential, with *deterministic*
+    jitter (hash of op and attempt) so replayed runs sleep identically."""
+    base = min(BACKOFF_CAP_S, BACKOFF_BASE_S * (1 << (attempt - 1)))
+    digest = hashlib.sha256(f"client-backoff:{op}:{attempt}".encode()).digest()
+    return base * (0.5 + digest[0] / 510.0)
 
 
 def default_socket_path() -> str:
@@ -71,6 +107,14 @@ class DaemonRequestError(RuntimeError):
     """The daemon answered, but with an error response."""
 
 
+class DaemonProtocolError(DaemonUnavailable):
+    """The daemon's response was unusable at the wire level (a line torn by
+    mid-line EOF, over-limit, or non-JSON bytes).  A subclass of
+    :class:`DaemonUnavailable` because the remedy is identical: drop the
+    connection and retry / fall back — never surface a raw
+    ``json.JSONDecodeError`` to callers."""
+
+
 def _unavailable(spec: str, problem: str) -> DaemonUnavailable:
     return DaemonUnavailable(
         f"{problem} at {spec!r} — start one with "
@@ -82,9 +126,14 @@ class DaemonClient:
     """Blocking JSON-line client for one compilation daemon."""
 
     def __init__(self, socket_spec: Optional[str] = None,
-                 timeout: Optional[float] = None):
+                 timeout: Optional[float] = None,
+                 max_attempts: Optional[int] = None):
         self.socket_spec = socket_spec or resolve_socket_spec()
         self.timeout = timeout
+        self.max_attempts = (_env_attempts() if max_attempts is None
+                             else max(1, max_attempts))
+        self.retries = 0
+        self.reconnects = 0
         self._sock: Optional[socket.socket] = None
         self._reader = None
         self._lock = Lock()
@@ -144,7 +193,36 @@ class DaemonClient:
     # --------------------------------------------------------------- request
     def _request(self, op: str, timeout: Optional[float] = None,
                  **fields: Any) -> Dict[str, Any]:
+        """One operation, with bounded retries over fresh connections.
+
+        Connection-level failures (:class:`DaemonUnavailable`, including
+        torn responses) are retried up to ``max_attempts`` times with
+        exponential backoff; each retry reconnects from scratch.  Daemon-
+        level errors (a well-formed ``ok: false`` response) are never
+        retried — the daemon heard us and said no.
+        """
+        last: Optional[DaemonUnavailable] = None
+        for attempt in range(max(1, self.max_attempts)):
+            if attempt:
+                self.retries += 1
+                time.sleep(_backoff_s(op, attempt))
+            try:
+                response = self._request_once(op, timeout, attempt, fields)
+            except DaemonUnavailable as exc:
+                last = exc
+                continue
+            if not response.get("ok"):
+                raise DaemonRequestError(
+                    response.get("error") or "daemon request failed")
+            return response
+        assert last is not None
+        raise last
+
+    def _request_once(self, op: str, timeout: Optional[float],
+                      attempt: int, fields: Dict[str, Any]) -> Dict[str, Any]:
         with self._lock:
+            if self._sock is None and attempt:
+                self.reconnects += 1
             self._connect()
             assert self._sock is not None and self._reader is not None
             self._next_id += 1
@@ -153,10 +231,17 @@ class DaemonClient:
             if timeout is not None:
                 self._sock.settimeout(timeout)
             try:
+                faults.maybe_raise("client.send.drop", key=op,
+                                   attempt=attempt,
+                                   exc_type=ConnectionResetError)
                 self._sock.sendall(
                     json.dumps(request, separators=(",", ":")).encode()
                     + b"\n")
                 line = self._reader.readline(MAX_LINE_BYTES)
+                if faults.check("client.recv.drop", key=op,
+                                attempt=attempt) is not None:
+                    # connection torn mid-response: a short read
+                    line = line[:len(line) // 2].rstrip(b"\n")
             except (BrokenPipeError, ConnectionResetError, OSError) as exc:
                 self.close()
                 raise _unavailable(self.socket_spec,
@@ -168,11 +253,23 @@ class DaemonClient:
             self.close()
             raise _unavailable(self.socket_spec,
                                "daemon closed the connection")
-        response = json.loads(line)
-        if not response.get("ok"):
-            raise DaemonRequestError(
-                response.get("error") or "daemon request failed")
-        return response
+        if not line.endswith(b"\n"):
+            # mid-line EOF (daemon died while answering) or a response past
+            # the line limit: the reply is torn, and the stream is no longer
+            # framed — drop the connection rather than parse half a JSON
+            # object or desynchronise the next request.
+            self.close()
+            raise DaemonProtocolError(
+                f"truncated response from daemon at {self.socket_spec!r} "
+                f"({len(line)} bytes, no newline) — retrying on a fresh "
+                f"connection")
+        try:
+            return json.loads(line)
+        except ValueError as exc:
+            self.close()
+            raise DaemonProtocolError(
+                f"malformed response from daemon at {self.socket_spec!r} "
+                f"({exc}) — retrying on a fresh connection")
 
     # ------------------------------------------------------------ operations
     def ping(self, timeout: float = CONTROL_TIMEOUT) -> Dict[str, Any]:
@@ -208,6 +305,38 @@ def resolve_socket_spec(socket_spec: Optional[str] = None) -> str:
     return socket_spec or os.environ.get(SOCKET_ENV) or default_socket_path()
 
 
+def _remove_stale_socket(spec: str) -> bool:
+    """Unlink a unix socket file nobody is listening on.
+
+    A daemon killed with SIGKILL (or a machine crash) leaves its socket
+    file behind; every later discovery would then burn a connect-and-fail
+    round trip.  Returns ``True`` when a stale file was removed, so the
+    caller can fall back in-process without the scary warning.
+    """
+    try:
+        kind, address = parse_socket_spec(spec)
+    except Exception:
+        return False
+    if kind != "unix" or not os.path.exists(address):
+        return False
+    probe = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    try:
+        probe.settimeout(1.0)
+        probe.connect(address)
+    except OSError:
+        try:
+            os.unlink(address)
+        except OSError:
+            return False
+        logger.warning("removed stale daemon socket %s (left behind by an "
+                       "unclean daemon exit); running in-process", address)
+        return True
+    else:
+        return False   # somebody *is* listening: not ours to unlink
+    finally:
+        probe.close()
+
+
 def discover_client(socket_spec: Optional[str] = None, *,
                     require: bool = False) -> Optional[DaemonClient]:
     """A verified (pinged) client for a running daemon, or ``None``.
@@ -230,10 +359,16 @@ def discover_client(socket_spec: Optional[str] = None, *,
         pong = client.ping()
     except (DaemonUnavailable, DaemonRequestError, ValueError, OSError) as exc:
         client.close()
+        stale = _remove_stale_socket(spec)
         if require:
+            if stale:
+                raise _unavailable(
+                    spec, "removed a stale daemon socket; no daemon running")
             if isinstance(exc, DaemonUnavailable):
                 raise
             raise _unavailable(spec, f"daemon handshake failed ({exc})")
+        if stale:
+            return None   # _remove_stale_socket already logged the cleanup
         logger.warning("ignoring unreachable compile daemon: %s", exc)
         return None
     schema = pong.get("schema")
@@ -281,17 +416,22 @@ class DaemonBackedService(CompileService):
         super().__init__(cache, max_workers=max_workers)
         self.client: Optional[DaemonClient] = client
         self.daemon_jobs = 0
+        self.degraded = 0
+        self._client_retries = 0   # frozen at degradation time
 
     @property
     def socket_spec(self) -> Optional[str]:
         return self.client.socket_spec if self.client is not None else None
 
     def _degrade(self, exc: Exception) -> None:
-        """Daemon went away mid-run: finish the run fully in-process."""
+        """Daemon went away mid-run (its retry budget included): finish the
+        run fully in-process.  Artifacts stay bit-identical either way."""
         logger.warning("compile daemon unavailable (%s); "
                        "falling back in-process for the rest of this run",
                        exc)
+        self.degraded += 1
         if self.client is not None:
+            self._client_retries = self.client.retries
             self.client.close()
         self.client = None
 
@@ -362,6 +502,10 @@ class DaemonBackedService(CompileService):
     def counters(self) -> Dict[str, Any]:
         merged = super().counters()
         merged["daemon_jobs"] = self.daemon_jobs
+        merged["daemon_degraded"] = self.degraded
+        merged["daemon_retries"] = (self.client.retries
+                                    if self.client is not None
+                                    else self._client_retries)
         return merged
 
     def daemon_metrics(self) -> Optional[Dict[str, Any]]:
@@ -374,6 +518,7 @@ class DaemonBackedService(CompileService):
 
 
 __all__ = ["DaemonClient", "DaemonBackedService", "DaemonUnavailable",
-           "DaemonRequestError", "SOCKET_ENV", "NO_DAEMON_ENV",
+           "DaemonRequestError", "DaemonProtocolError", "SOCKET_ENV",
+           "NO_DAEMON_ENV", "RETRIES_ENV", "DEFAULT_REQUEST_ATTEMPTS",
            "default_socket_path", "resolve_socket_spec", "discover_client",
            "maybe_daemon_service"]

@@ -37,13 +37,15 @@ import asyncio
 import json
 import logging
 import os
+import signal
 import socket
 import time
 from collections import deque
 from functools import partial
 from typing import Any, Deque, Dict, List, Optional, Sequence, Tuple
 
-from .jobs import KEY_SCHEMA_VERSION, CompileJob
+from . import faults
+from .jobs import KEY_SCHEMA_VERSION, CompiledArtifact, CompileJob
 from .scheduler import BatchReport, CompileService
 
 logger = logging.getLogger(__name__)
@@ -57,6 +59,10 @@ LATENCY_WINDOW = 4096
 
 #: ``tcp:HOST:PORT`` socket specs select TCP instead of a unix socket.
 TCP_PREFIX = "tcp:"
+
+#: Seconds a shutting-down daemon waits for in-flight compiles to finish
+#: before tearing down connections (drain-then-exit semantics).
+DRAIN_TIMEOUT_S = 30.0
 
 
 class DaemonError(RuntimeError):
@@ -95,6 +101,7 @@ class DaemonMetrics:
         self.compiled = 0
         self.failures = 0
         self.batches = 0
+        self.corrupt_payloads = 0
         self.last_batch: Dict[str, Any] = {}
         self._latency: Dict[str, Deque[float]] = {}
 
@@ -136,6 +143,7 @@ class CompileDaemon:
         self._shutdown = asyncio.Event()
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._connections: "set[asyncio.Task]" = set()
+        self._signals: List[int] = []
 
     # -------------------------------------------------------------- lifetime
     async def start(self) -> None:
@@ -150,8 +158,23 @@ class CompileDaemon:
             self._claim_unix_socket(address)
             self._server = await asyncio.start_unix_server(
                 self._serve_client, path=address, limit=MAX_LINE_BYTES)
+        self._install_signal_handlers()
         logger.info("compile daemon listening on %s (pid %d)",
                     self.socket_spec, os.getpid())
+
+    def _install_signal_handlers(self) -> None:
+        """SIGTERM/SIGINT take the same clean path as the ``shutdown`` verb:
+        drain in-flight compiles, close connections, unlink the socket — a
+        supervisor's ``kill`` never leaves a stale socket behind.  Guarded:
+        signal handlers only install on the main thread (tests run daemons
+        on worker threads) and on loops that support them."""
+        assert self._loop is not None
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                self._loop.add_signal_handler(signum, self._shutdown.set)
+            except (NotImplementedError, RuntimeError, ValueError):
+                return
+            self._signals.append(signum)
 
     @staticmethod
     def _claim_unix_socket(path: str) -> None:
@@ -192,6 +215,20 @@ class CompileDaemon:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
+        for signum in self._signals:
+            try:
+                self._loop.remove_signal_handler(signum)  # type: ignore[union-attr]
+            except (NotImplementedError, RuntimeError, ValueError):
+                pass
+        self._signals.clear()
+        # drain: executor-side compiles cannot be cancelled, and dropping
+        # their futures would strand connected clients mid-batch — wait for
+        # in-flight work to reach its waiters before tearing anything down
+        pending = [f for f in self._inflight.values() if not f.done()]
+        if pending:
+            logger.info("draining %d in-flight compile(s) before shutdown",
+                        len(pending))
+            await asyncio.wait(pending, timeout=DRAIN_TIMEOUT_S)
         # unblock handlers parked on readline so no task is torn down
         # mid-await when the loop exits
         for task in list(self._connections):
@@ -224,6 +261,11 @@ class CompileDaemon:
                 if not line:
                     break
                 response = await self._handle_line(line)
+                if response.pop("_fault_drop", False):
+                    # injected daemon death mid-response: abort the
+                    # transport so the client sees a torn connection
+                    writer.transport.abort()
+                    break
                 await self._respond(writer, response)
                 if response.get("shutdown"):
                     self._shutdown.set()
@@ -275,6 +317,13 @@ class CompileDaemon:
             logger.exception("request %r failed", op)
             return {"id": request_id, "ok": False,
                     "error": f"{type(exc).__name__}: {exc}"}
+        rule = faults.check("daemon.response.slow",
+                            key=f"{op}:{request_id}")
+        if rule is not None:
+            await asyncio.sleep(rule.delay)
+        if faults.check("daemon.response.drop",
+                        key=f"{op}:{request_id}") is not None:
+            response["_fault_drop"] = True
         response.setdefault("ok", True)
         response["id"] = request_id
         return response
@@ -308,6 +357,11 @@ class CompileDaemon:
             "latency_s": m.latency_percentiles(),
             "cache": self.service.cache.stats(),
             "recompilations": self.service.recompilations,
+            # scheduler fault tolerance: retries, watchdog timeouts, pool
+            # rebuilds and quarantined poison jobs (plus wire-level corrupt
+            # payloads this daemon refused to serve)
+            "self_heal": dict(self.service.self_heal_counters(),
+                              daemon_corrupt_payloads=m.corrupt_payloads),
             # function-granular incremental compilation hit rates (this
             # process's store + pool-worker deltas)
             "function_cache": self.service.function_counters(),
@@ -331,6 +385,22 @@ class CompileDaemon:
         return {"artifacts": payloads, "sources": sources, "report": report}
 
     # ------------------------------------------------------------ coalescing
+    def _validated(self, key: str) -> Optional[Dict[str, Any]]:
+        """The cached payload for ``key``, or ``None`` when missing *or*
+        malformed.  A corrupt entry (torn write survivor, foreign writer,
+        injected fault) must trigger a recompile, never cross the wire."""
+        payload = self.service.cache.get(key)
+        if payload is None:
+            return None
+        try:
+            CompiledArtifact.from_payload(payload)
+        except Exception:
+            self.metrics.corrupt_payloads += 1
+            logger.warning("dropping corrupt cached artifact %s…; "
+                           "recompiling", key[:16])
+            return None
+        return payload
+
     async def _compile_specs(
             self, specs: Sequence[Dict[str, Any]]
     ) -> Tuple[List[Dict[str, Any]], List[str], Dict[str, Any]]:
@@ -352,7 +422,7 @@ class CompileDaemon:
         for job, key in zip(jobs, keys):
             if key in ready or key in waiters or key in fresh:
                 continue  # intra-batch duplicate: one lookup serves all
-            payload = self.service.cache.get(key)
+            payload = self._validated(key)
             if payload is not None:
                 ready[key] = payload
                 sources[key] = "hit"
@@ -409,7 +479,7 @@ class CompileDaemon:
             elapsed = report.timings.get(key)
             if elapsed is not None:
                 self.metrics.record_latency(job.flow, elapsed)
-            payload = self.service.cache.get(key)
+            payload = self._validated(key)
             future = self._inflight.pop(key, None)
             self._inflight_waiters.pop(key, None)
             if future is None or future.done():
@@ -428,4 +498,4 @@ def serve_forever(service: CompileService, socket_spec: str) -> None:
 
 
 __all__ = ["CompileDaemon", "DaemonError", "DaemonMetrics", "MAX_LINE_BYTES",
-           "parse_socket_spec", "serve_forever"]
+           "DRAIN_TIMEOUT_S", "parse_socket_spec", "serve_forever"]

@@ -37,6 +37,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 from ..ir.core import Operation
 from ..ir.pass_manager import PassTiming
 from ..ir.serial import dumps_op, loads_op
+from . import faults
 from .cache import ArtifactCache
 
 #: Default size of the live-function LRU tier (functions, not bytes).
@@ -122,6 +123,8 @@ class FunctionArtifactStore:
                 return func.clone(), timings
         if self._cache is not None:
             payload = self._cache.get(_address(fingerprint))
+            payload = faults.corrupt_payload("function.payload.corrupt",
+                                             payload, key=fingerprint)
             if payload is not None:
                 try:
                     func = loads_op(base64.b64decode(payload["function"]))

@@ -32,6 +32,7 @@ import os
 from typing import Dict, Optional
 
 from ..machine import jit as machine_jit
+from . import faults
 from .cache import ArtifactCache
 
 #: Set to a non-empty value (other than ``0``) to keep jit translations
@@ -74,6 +75,8 @@ class JitTranslationStore:
 
     def lookup(self, fingerprint: str) -> Optional[Dict]:
         payload = self._cache.get(_address(fingerprint))
+        payload = faults.corrupt_payload("jit.payload.corrupt", payload,
+                                         key=fingerprint)
         if isinstance(payload, dict) and isinstance(payload.get("source"),
                                                     str):
             return payload

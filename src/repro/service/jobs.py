@@ -284,8 +284,15 @@ def execute_spec(spec: Dict[str, Any]) -> Tuple[str, Dict[str, Any]]:
     return artifact.key, artifact.to_payload()
 
 
+def spec_fault_key(spec: Dict[str, Any]) -> str:
+    """Stable, cheap fault-site context key for one job spec (no registry
+    resolution, so unresolvable specs key deterministically too)."""
+    return (f"{spec.get('flow')}/{spec.get('workload_name')}"
+            f"/{spec.get('engine')}")
+
+
 def execute_spec_timed(
-        spec: Dict[str, Any]
+        spec: Dict[str, Any], attempt: int = 0
 ) -> Tuple[str, Dict[str, Any], float, Dict[str, int], Dict[str, int]]:
     """Like :func:`execute_spec`, plus worker-side compile seconds and the
     function-store and jit-translation counter deltas this job caused.
@@ -296,11 +303,20 @@ def execute_spec_timed(
     stay bit-identical whether or not their compile was timed.  The counter
     deltas let the scheduler aggregate function-level and translation-level
     hit rates across pool workers, whose stores are per-process.
+
+    ``attempt`` is the scheduler's retry ordinal for this job; the fault
+    sites fold it into their decisions, which is how a plan expresses
+    "crash attempt 0, let the requeued attempt run clean".
     """
     import time
 
     from ..machine.jit import snapshot_translation_counters
+    from . import faults
     from .incremental import counters_delta, snapshot_counters
+
+    fault_key = spec_fault_key(spec)
+    faults.maybe_crash("worker.crash", key=fault_key, attempt=attempt)
+    faults.maybe_sleep("worker.hang", key=fault_key, attempt=attempt)
     before = snapshot_counters()
     jit_before = snapshot_translation_counters()
     started = time.perf_counter()
@@ -313,4 +329,5 @@ def execute_spec_timed(
 
 
 __all__ = ["CompileJob", "CompiledArtifact", "ServiceError", "run_job",
-           "execute_spec", "execute_spec_timed", "KEY_SCHEMA_VERSION"]
+           "execute_spec", "execute_spec_timed", "spec_fault_key",
+           "KEY_SCHEMA_VERSION"]

@@ -12,23 +12,69 @@
 The service counts every recompilation it performs, so "a warm run
 recompiles nothing" is directly assertable: run the flow twice and check
 ``service.recompilations`` did not move.
+
+**Self-healing pool execution**: the process-pool path survives worker
+crashes and hung compiles instead of aborting batches.  A watchdog kills a
+pool that has made no progress for ``job_timeout`` seconds and requeues the
+unfinished jobs; a :class:`~concurrent.futures.process.BrokenProcessPool`
+(one worker dying nukes every sibling future) rebuilds the pool and retries
+the survivors; after two broken pool generations the scheduler escalates to
+**isolation mode** — one job per single-worker pool — so the crashing job is
+identified precisely and its innocent batch-mates complete.  A job that
+still crashes or times out after ``max_attempts`` attempts is **quarantined**:
+an ``ok=False`` poison artifact is cached under its key (``poisoned: True``)
+so one pathological kernel fails fast forever instead of taking fresh
+batches down with it.  All of it is observable: ``retries``, ``timeouts``,
+``pool_crashes`` and ``quarantined`` ride :meth:`CompileService.counters`
+and the daemon's ``metrics``.
 """
 
 from __future__ import annotations
 
+import os
 import time
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from threading import Lock
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..machine.jit import snapshot_translation_counters
+from . import faults
 from .cache import ArtifactCache
 from .incremental import (FunctionArtifactStore, get_function_store,
                           snapshot_counters)
 from .jit_store import JitTranslationStore, install_jit_store
 from .jobs import (CompiledArtifact, CompileJob, execute_spec_timed,
                    run_job)
+
+#: Seconds of zero pool progress before the watchdog declares a hang.
+JOB_TIMEOUT_ENV = "REPRO_JOB_TIMEOUT"
+DEFAULT_JOB_TIMEOUT = 120.0
+
+#: Total attempts (first run + retries) a pool job gets before quarantine.
+JOB_ATTEMPTS_ENV = "REPRO_JOB_RETRIES"
+DEFAULT_JOB_ATTEMPTS = 3
+
+#: Broken pool generations tolerated before isolation mode (1 job / pool).
+_ISOLATE_AFTER_BREAKS = 2
+
+#: Watchdog poll interval while pool futures are outstanding.
+_WATCHDOG_TICK = 0.2
+
+
+def _env_float(name: str, default: float) -> float:
+    try:
+        return float(os.environ[name])
+    except (KeyError, ValueError):
+        return default
+
+
+def _env_int(name: str, default: int) -> int:
+    try:
+        return int(os.environ[name])
+    except (KeyError, ValueError):
+        return default
 
 
 def _pool_worker_init(cache_dir: Optional[str]) -> None:
@@ -39,6 +85,7 @@ def _pool_worker_init(cache_dir: Optional[str]) -> None:
     uses, so per-function stages and jit translations compiled in workers
     persist too (shard writes are atomic, so concurrent writers are safe).
     """
+    faults.rearm_from_env()
     if not cache_dir:
         return
     try:
@@ -76,12 +123,30 @@ class CompileService:
     """Content-addressed, batch-capable compilation service."""
 
     def __init__(self, cache: Optional[ArtifactCache] = None,
-                 max_workers: int = 1):
+                 max_workers: int = 1,
+                 job_timeout: Optional[float] = None,
+                 max_attempts: Optional[int] = None):
         self.cache = cache if cache is not None else ArtifactCache()
         self.max_workers = max(1, max_workers)
+        #: Watchdog limit: seconds of zero pool progress before unfinished
+        #: jobs are killed and requeued (0 disables the watchdog).
+        self.job_timeout = (_env_float(JOB_TIMEOUT_ENV, DEFAULT_JOB_TIMEOUT)
+                            if job_timeout is None else job_timeout)
+        #: Attempts (including the first) before a crashing/hanging job is
+        #: quarantined as a poison artifact.
+        self.max_attempts = max(1, _env_int(JOB_ATTEMPTS_ENV,
+                                            DEFAULT_JOB_ATTEMPTS)
+                                if max_attempts is None else max_attempts)
         self._lock = Lock()
         self.recompilations = 0
         self.batches = 0
+        # self-healing accounting (all surfaced via counters() and the
+        # daemon's metrics verb)
+        self.retries = 0          # pool jobs requeued after crash/timeout
+        self.timeouts = 0         # jobs killed by the watchdog
+        self.pool_crashes = 0     # broken/hung pool generations torn down
+        self.quarantined = 0      # keys landed as poison artifacts
+        self.corrupt_payloads = 0  # cached payloads rejected on read
         # Bind the process-wide function store to this service's artifact
         # cache: per-function stage results now persist (and survive
         # restarts) alongside whole-module artifacts.
@@ -100,12 +165,26 @@ class CompileService:
             "memory_hits": 0, "disk_hits": 0, "misses": 0, "stores": 0}
 
     # --------------------------------------------------------------- single
+    def _cached_artifact(self, key: str) -> Optional[CompiledArtifact]:
+        """The cached artifact for ``key``, or ``None`` — a payload that no
+        longer deserialises (torn write, bit rot, foreign writer) is a
+        counted *miss*, never an error."""
+        payload = self.cache.get(key)
+        if payload is None:
+            return None
+        try:
+            return CompiledArtifact.from_payload(payload, cached=True)
+        except Exception:
+            with self._lock:
+                self.corrupt_payloads += 1
+            return None
+
     def execute(self, job: CompileJob) -> CompiledArtifact:
         """Serve one job: from the cache if possible, else compile now."""
         key = job.safe_key()
-        payload = self.cache.get(key)
-        if payload is not None:
-            return CompiledArtifact.from_payload(payload, cached=True)
+        artifact = self._cached_artifact(key)
+        if artifact is not None:
+            return artifact
         artifact = run_job(job)
         with self._lock:
             self.recompilations += 1
@@ -135,7 +214,8 @@ class CompileService:
 
         results = self._execute_misses(misses, workers, report)
         report.timings = {key: elapsed
-                          for key, (_, elapsed) in results.items()}
+                          for key, (_, elapsed) in results.items()
+                          if elapsed is not None}
         results = {key: payload for key, (payload, _) in results.items()}
         for key, payload in results.items():
             self.cache.put(key, payload)
@@ -179,46 +259,15 @@ class CompileService:
     def _execute_misses(
             self, misses: List[CompileJob], workers: int,
             report: BatchReport
-    ) -> Dict[str, Tuple[Dict[str, Any], float]]:
-        results: Dict[str, Tuple[Dict[str, Any], float]] = {}
+    ) -> Dict[str, Tuple[Dict[str, Any], Optional[float]]]:
+        results: Dict[str, Tuple[Dict[str, Any], Optional[float]]] = {}
         local: List[CompileJob] = []
         remaining: List[CompileJob] = []
         for job in misses:
             (remaining if self._pool_safe(job) else local).append(job)
         if workers > 1 and len(remaining) > 1:
-            try:
-                with ProcessPoolExecutor(
-                        max_workers=min(workers, len(remaining)),
-                        initializer=_pool_worker_init,
-                        initargs=(self.cache.cache_dir,)) as pool:
-                    futures = [(job,
-                                pool.submit(execute_spec_timed, job.spec()))
-                               for job in remaining]
-                    leftover: List[CompileJob] = []
-                    for job, future in futures:
-                        try:
-                            key, payload, elapsed, fn_delta, jit_delta = \
-                                future.result()
-                        except Exception:
-                            # worker infrastructure failure (broken pool,
-                            # unpicklable state, ...): redo in-process below
-                            leftover.append(job)
-                            continue
-                        results[key] = (payload, elapsed)
-                        report.pool_executed += 1
-                        with self._lock:
-                            for name, count in fn_delta.items():
-                                self._worker_fn_counters[name] = (
-                                    self._worker_fn_counters.get(name, 0)
-                                    + count)
-                            for name, count in jit_delta.items():
-                                self._worker_jit_counters[name] = (
-                                    self._worker_jit_counters.get(name, 0)
-                                    + count)
-                    remaining = leftover
-            except Exception:
-                # pool could not start at all (restricted environments)
-                pass
+            remaining = self._execute_pool(remaining, workers, report,
+                                           results)
         for job in remaining + local:
             # run_job (not execute_spec) so attached workloads stay attached
             started = time.perf_counter()
@@ -227,12 +276,180 @@ class CompileService:
                                      time.perf_counter() - started)
         return results
 
+    # ------------------------------------------------------- self-healing pool
+    def _execute_pool(
+            self, jobs: List[CompileJob], workers: int, report: BatchReport,
+            results: Dict[str, Tuple[Dict[str, Any], Optional[float]]]
+    ) -> List[CompileJob]:
+        """Run pool-safe misses with crash/hang recovery.
+
+        Jobs start batched at full width.  Crash and timeout casualties are
+        requeued with a bumped attempt ordinal; after
+        :data:`_ISOLATE_AFTER_BREAKS` broken pool generations each pending
+        job runs alone in a single-worker pool so the poison job — if there
+        is one — is identified exactly.  Jobs that exhaust ``max_attempts``
+        are quarantined via :meth:`_quarantine`.  Returns the jobs that must
+        fall back to in-process execution (pool never started, or a
+        non-crash infrastructure error such as unpicklable state).
+        """
+        pending: List[Tuple[CompileJob, int]] = [(job, 0) for job in jobs]
+        fallback: List[CompileJob] = []
+        breaks = 0
+        while pending:
+            if breaks >= _ISOLATE_AFTER_BREAKS:
+                batch, pending = [pending[0]], pending[1:]
+                width = 1
+            else:
+                batch, pending = pending, []
+                width = min(workers, len(batch))
+            retry, leftover, broke = self._run_pool_once(batch, width,
+                                                         report, results)
+            fallback.extend(job for job, _ in leftover)
+            if broke:
+                breaks += 1
+                with self._lock:
+                    self.pool_crashes += 1
+            for job, attempt, reason in retry:
+                if attempt + 1 >= self.max_attempts:
+                    self._quarantine(job, reason, attempt + 1, results)
+                else:
+                    with self._lock:
+                        self.retries += 1
+                    pending.append((job, attempt + 1))
+        return fallback
+
+    def _run_pool_once(
+            self, batch: List[Tuple[CompileJob, int]], width: int,
+            report: BatchReport,
+            results: Dict[str, Tuple[Dict[str, Any], Optional[float]]]
+    ) -> Tuple[List[Tuple[CompileJob, int, str]],
+               List[Tuple[CompileJob, int]], bool]:
+        """One pool generation: returns ``(retry, leftover, broke)``.
+
+        ``retry`` holds crash/timeout casualties (requeue or quarantine),
+        ``leftover`` holds jobs for the in-process fallback, and ``broke``
+        reports whether this generation's pool had to be torn down.
+        """
+        retry: List[Tuple[CompileJob, int, str]] = []
+        leftover: List[Tuple[CompileJob, int]] = []
+        try:
+            pool = ProcessPoolExecutor(max_workers=width,
+                                       initializer=_pool_worker_init,
+                                       initargs=(self.cache.cache_dir,))
+        except Exception:
+            # pool could not start at all (restricted environments)
+            return retry, list(batch), False
+        broke = False
+        hung: "set" = set()
+        try:
+            futures = {pool.submit(execute_spec_timed, job.spec(), attempt):
+                       (job, attempt) for job, attempt in batch}
+            outstanding = set(futures)
+            last_progress = time.monotonic()
+            while outstanding:
+                done, outstanding = wait(outstanding,
+                                         timeout=_WATCHDOG_TICK,
+                                         return_when=FIRST_COMPLETED)
+                for future in done:
+                    job, attempt = futures[future]
+                    try:
+                        key, payload, elapsed, fn_delta, jit_delta = \
+                            future.result()
+                    except BrokenProcessPool:
+                        broke = True
+                        retry.append((job, attempt, "worker process crashed"))
+                    except Exception:
+                        # non-crash infrastructure failure (unpicklable
+                        # state, ...): redo in-process, do not burn attempts
+                        leftover.append((job, attempt))
+                    else:
+                        results[key] = (payload, elapsed)
+                        report.pool_executed += 1
+                        self._merge_worker_deltas(fn_delta, jit_delta)
+                if done:
+                    last_progress = time.monotonic()
+                elif (outstanding and self.job_timeout
+                        and time.monotonic() - last_progress
+                        > self.job_timeout):
+                    # watchdog: no job finished for a full timeout window —
+                    # kill the pool, requeue everything still outstanding
+                    broke = True
+                    hung = outstanding
+                    with self._lock:
+                        self.timeouts += len(outstanding)
+                    for future in outstanding:
+                        job, attempt = futures[future]
+                        retry.append((job, attempt,
+                                      f"compile made no progress for "
+                                      f"{self.job_timeout:g}s"))
+                    break
+        finally:
+            if hung:
+                self._terminate_pool(pool)
+            pool.shutdown(wait=not hung, cancel_futures=True)
+        return retry, leftover, broke
+
+    @staticmethod
+    def _terminate_pool(pool: ProcessPoolExecutor) -> None:
+        """Kill a hung pool's worker processes (best effort)."""
+        try:
+            processes = list(getattr(pool, "_processes", {}).values())
+        except Exception:
+            return
+        for process in processes:
+            try:
+                process.terminate()
+            except Exception:
+                pass
+
+    def _merge_worker_deltas(self, fn_delta: Dict[str, int],
+                             jit_delta: Dict[str, int]) -> None:
+        with self._lock:
+            for name, count in fn_delta.items():
+                self._worker_fn_counters[name] = (
+                    self._worker_fn_counters.get(name, 0) + count)
+            for name, count in jit_delta.items():
+                self._worker_jit_counters[name] = (
+                    self._worker_jit_counters.get(name, 0) + count)
+
+    def _quarantine(
+            self, job: CompileJob, reason: str, attempts: int,
+            results: Dict[str, Tuple[Dict[str, Any], Optional[float]]]
+    ) -> None:
+        """Land a poison artifact for a job that keeps killing workers.
+
+        The ``ok=False`` payload is cached under the job's key (flagged
+        ``poisoned``), so every later submission of the same key fails fast
+        from the cache instead of crashing another pool.  Clearing the cache
+        entry (or bumping the key schema) lifts the quarantine.
+        """
+        key = job.safe_key()
+        payload = {
+            "key": key, "flow": job.flow, "workload": job.workload_name,
+            "ok": False, "stats": None, "printed": [], "module_text": "",
+            "pipeline": "", "poisoned": True,
+            "error": (f"quarantined poison job after {attempts} "
+                      f"attempt(s): {reason}"),
+        }
+        results[key] = (payload, None)
+        with self._lock:
+            self.quarantined += 1
+
     # ------------------------------------------------------------- counters
     def counters(self) -> Dict[str, int]:
         merged = self.cache.counters.as_dict()
         merged["recompilations"] = self.recompilations
         merged["batches"] = self.batches
+        merged.update(self.self_heal_counters())
         return merged
+
+    def self_heal_counters(self) -> Dict[str, int]:
+        """Crash/timeout recovery accounting (chaos sweeps assert on it)."""
+        with self._lock:
+            return {"retries": self.retries, "timeouts": self.timeouts,
+                    "pool_crashes": self.pool_crashes,
+                    "quarantined": self.quarantined,
+                    "corrupt_payloads": self.corrupt_payloads}
 
     def function_counters(self) -> Dict[str, Any]:
         """Function-level cache accounting: this process's store plus the
@@ -263,4 +480,5 @@ class CompileService:
         return totals
 
 
-__all__ = ["CompileService", "BatchReport"]
+__all__ = ["CompileService", "BatchReport", "DEFAULT_JOB_ATTEMPTS",
+           "DEFAULT_JOB_TIMEOUT", "JOB_ATTEMPTS_ENV", "JOB_TIMEOUT_ENV"]

@@ -17,6 +17,10 @@ Durability rules:
   reader sees the old shard or the new one, never a torn file;
 * a corrupt or truncated shard is a *cache miss*, never an error: it is
   logged once and overwritten wholesale on the next store into it;
+* every entry carries a CRC-32 of its payload (``"c"``), verified on read:
+  a bit-flipped or partially-written entry inside an otherwise-parseable
+  shard reads as a miss too (entries stored before the checksum existed
+  are accepted unverified);
 * the total on-disk size is bounded by ``byte_budget``: when a store pushes
   the sum of shard-file sizes over budget, least-recently-used entries are
   evicted (across all shards) until the store fits again.
@@ -39,9 +43,12 @@ import logging
 import os
 import tempfile
 import time
+import zlib
 from pathlib import Path
 from threading import Lock
 from typing import Any, Dict, Optional
+
+from . import faults
 
 logger = logging.getLogger(__name__)
 
@@ -109,6 +116,7 @@ class ShardedStore:
         self._clock = int(time.time() * 1000)
         self.evictions = 0
         self.corrupt_shards = 0
+        self.corrupt_entries = 0
         self._adopt_marker()
         self._migrate_legacy()
         for path in self._shards.glob("*.json"):
@@ -143,10 +151,17 @@ class ShardedStore:
         return self._clock
 
     # ------------------------------------------------------------- shard I/O
+    @staticmethod
+    def _entry_crc(payload: Any) -> int:
+        return zlib.crc32(json.dumps(payload, sort_keys=True,
+                                     separators=(",", ":")).encode("utf-8"))
+
     def _load_shard(self, prefix: str) -> Dict[str, Dict[str, Any]]:
         """Entries of one shard; corrupt/truncated files read as empty."""
         path = self._shard_path(prefix)
         try:
+            faults.maybe_raise("sharded.read.error", key=prefix,
+                               exc_type=OSError)
             with path.open("r", encoding="utf-8") as fh:
                 blob = json.load(fh)
             entries = blob["entries"]
@@ -180,12 +195,18 @@ class ShardedStore:
                                         self._touched.pop(key))
         blob = json.dumps({"format": SHARDED_FORMAT, "entries": entries},
                           separators=(",", ":"))
+        # Injected torn write: publish a truncated blob, exactly what a
+        # crash midway through a non-atomic write would leave behind.  The
+        # durability contract makes this a miss on the next read, so the
+        # chaos sweep can prove the store never serves a torn artifact.
+        published = faults.corrupt_payload("sharded.write.torn", blob,
+                                           key=prefix)
         fd, tmp = tempfile.mkstemp(dir=str(self._shards), suffix=".tmp")
         try:
             with os.fdopen(fd, "w", encoding="utf-8") as fh:
-                fh.write(blob)
+                fh.write(published)
             os.replace(tmp, path)
-            self._sizes[prefix] = len(blob.encode("utf-8"))
+            self._sizes[prefix] = len(published.encode("utf-8"))
         except OSError:
             try:
                 os.unlink(tmp)
@@ -197,10 +218,20 @@ class ShardedStore:
         entry = self._load_shard(self._prefix(key)).get(key)
         if entry is None:
             return None
+        entry = faults.corrupt_payload("sharded.payload.corrupt", entry,
+                                       key=key)
+        payload = entry.get("p") if isinstance(entry, dict) else None
+        if not isinstance(payload, dict):
+            self.corrupt_entries += 1
+            return None
+        crc = entry.get("c")
+        if crc is not None and crc != self._entry_crc(payload):
+            self.corrupt_entries += 1
+            logger.warning("dropping cache entry %s: checksum mismatch", key)
+            return None
         with self._lock:
             self._touched[key] = self._stamp()
-        payload = entry.get("p")
-        return payload if isinstance(payload, dict) else None
+        return payload
 
     def contains(self, key: str) -> bool:
         return key in self._load_shard(self._prefix(key))
@@ -209,7 +240,8 @@ class ShardedStore:
         prefix = self._prefix(key)
         with self._lock:
             entries = self._load_shard(prefix)
-            entries[key] = {"a": self._stamp(), "p": payload}
+            entries[key] = {"a": self._stamp(), "p": payload,
+                            "c": self._entry_crc(payload)}
             self._write_shard(prefix, entries)
         self._evict_to_budget()
 
@@ -308,6 +340,7 @@ class ShardedStore:
         return {"disk_bytes": self.total_bytes(),
                 "evictions": self.evictions,
                 "corrupt_shards": self.corrupt_shards,
+                "corrupt_entries": self.corrupt_entries,
                 "byte_budget": self.byte_budget}
 
 

@@ -14,9 +14,10 @@ from pathlib import Path
 import pytest
 
 from repro.service import ArtifactCache, CompileJob, CompileService, run_job
+from repro.service import faults
 from repro.service.client import (NO_DAEMON_ENV, SOCKET_ENV, DaemonClient,
-                                  DaemonUnavailable, discover_client,
-                                  maybe_daemon_service)
+                                  DaemonProtocolError, DaemonUnavailable,
+                                  discover_client, maybe_daemon_service)
 from repro.service.daemon import (CompileDaemon, DaemonError,
                                   parse_socket_spec)
 from repro.service.jobs import KEY_SCHEMA_VERSION
@@ -93,7 +94,10 @@ class TestRoundTrip:
             assert metrics["cache_hits"] == 1
             assert metrics["hit_rate"] == 0.5
             assert metrics["latency_s"]["ours"]["count"] == 1
-            assert metrics["cache"]["stores"] == 1
+            # >= 1: a cold process also writes function-stage payloads
+            # through the process-wide store, so the exact count depends on
+            # which tests ran before this one
+            assert metrics["cache"]["stores"] >= 1
             assert metrics["cache"]["memory_hits"] >= 1
 
             response = client.shutdown()
@@ -140,9 +144,14 @@ class TestCoalescing:
         results = asyncio.run(drive())
         assert service.recompilations == 1, \
             "four concurrent identical submissions must cost one compile"
-        sources = sorted(src for _, (src,), _ in results)
-        assert sources == ["coalesced", "coalesced", "coalesced", "compiled"]
-        assert daemon.metrics.coalesced == 3
+        sources = [src for _, (src,), _ in results]
+        assert sources.count("compiled") == 1
+        # a late submission may find the artifact already cached (the
+        # executor can finish the compile between task scheduling slices);
+        # "coalesced" and "hit" both mean "no second compile"
+        assert all(src in ("coalesced", "hit") for src in sources
+                   if src != "compiled")
+        assert daemon.metrics.coalesced + daemon.metrics.cache_hits == 3
         assert daemon.metrics.compiled == 1
         payloads = [json.dumps(p, sort_keys=True)
                     for (p,), _, _ in results]
@@ -262,6 +271,116 @@ class TestDaemonBackedService:
         assert service.client is None, "service must drop the dead daemon"
         assert service.recompilations == 1
         assert service.daemon_metrics() is None
+
+
+class TestWireFaultTolerance:
+    """Socket-level robustness: short reads, retries, injected drops."""
+
+    def test_short_read_is_a_clean_retryable_error(self, no_ambient_daemon,
+                                                   tmp_path):
+        """A response torn by mid-line EOF must surface as a
+        :class:`DaemonUnavailable` subclass, never a JSONDecodeError."""
+        path = str(tmp_path / "torn.sock")
+        listener = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        listener.bind(path)
+        listener.listen(1)
+
+        def half_answer():
+            conn, _ = listener.accept()
+            conn.recv(1 << 16)
+            conn.sendall(b'{"id": 1, "ok": true, "pong": tr')  # no newline
+            conn.close()
+
+        server = threading.Thread(target=half_answer, daemon=True)
+        server.start()
+        client = DaemonClient(path, max_attempts=1)
+        with pytest.raises(DaemonUnavailable) as excinfo:
+            client.ping(timeout=5.0)
+        assert isinstance(excinfo.value, DaemonProtocolError)
+        assert "truncated" in str(excinfo.value)
+        client.close()
+        listener.close()
+        server.join(5)
+
+    def test_client_retries_through_injected_drops(self, live_daemon):
+        """Attempt-0 send and receive drops must be absorbed by the retry
+        loop; the caller sees one successful round trip."""
+        socket_path, _service, _daemon = live_daemon
+        plan = faults.FaultPlan.from_spec(
+            "seed=7;client.send.drop:p=1,key=execute,attempt=0;"
+            "client.recv.drop:p=1,key=metrics,attempt=0")
+        with faults.install(plan, export=False):
+            with DaemonClient(socket_path) as client:
+                payload, _ = client.execute(
+                    CompileJob("ours", "dotproduct").spec())
+                assert payload["ok"]
+                metrics = client.metrics()
+                assert "self_heal" in metrics
+                assert client.retries >= 2
+                assert client.reconnects >= 1
+
+    def test_daemon_response_drop_is_survived(self, live_daemon):
+        """The daemon aborting a connection mid-response looks like a torn
+        read; the client's retry on a fresh connection must succeed."""
+        socket_path, _service, _daemon = live_daemon
+        plan = faults.FaultPlan.from_spec(
+            "seed=7;daemon.response.drop:p=1,key=ping:1")
+        # export=True: the daemon thread only sees the plan via $REPRO_FAULTS
+        with faults.install(plan, export=True):
+            with DaemonClient(socket_path) as client:
+                pong = client.ping()
+                assert pong["pong"]
+                assert client.retries >= 1
+
+    def test_exhausted_retries_raise_unavailable(self, live_daemon):
+        socket_path, _service, _daemon = live_daemon
+        plan = faults.FaultPlan.from_spec(
+            "seed=7;client.send.drop:p=1,key=metrics")   # every attempt
+        with faults.install(plan, export=False):
+            client = DaemonClient(socket_path, max_attempts=2)
+            with pytest.raises(DaemonUnavailable):
+                client.metrics()
+            assert client.retries == 1   # attempts - 1
+            client.close()
+
+    def test_metrics_surface_self_heal_counters(self, live_daemon):
+        socket_path, _service, _daemon = live_daemon
+        with DaemonClient(socket_path) as client:
+            metrics = client.metrics()
+        for counter in ("retries", "timeouts", "pool_crashes",
+                        "quarantined", "daemon_corrupt_payloads"):
+            assert counter in metrics["self_heal"]
+
+    def test_stale_socket_is_unlinked_and_discovery_falls_back(
+            self, no_ambient_daemon, tmp_path, monkeypatch):
+        stale = str(tmp_path / "stale.sock")
+        leftover = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        leftover.bind(stale)
+        leftover.close()   # unclean exit: file left, nobody listening
+        monkeypatch.setenv(SOCKET_ENV, stale)
+        assert discover_client() is None
+        assert not os.path.exists(stale), \
+            "discovery must clean up the stale socket it found"
+
+    def test_degrades_mid_batch_under_injected_socket_drops(self,
+                                                            live_daemon):
+        """Every compile_batch attempt dropped: the daemon-backed service
+        must finish the batch fully in-process, with no failures."""
+        socket_path, _service, _daemon = live_daemon
+        service = maybe_daemon_service(socket_path)
+        assert service is not None
+        plan = faults.FaultPlan.from_spec(
+            "seed=7;client.send.drop:p=1,key=compile_batch")
+        with faults.install(plan, export=False):
+            report = service.submit([CompileJob("ours", "sum"),
+                                     CompileJob("ours", "dotproduct")])
+        assert not report.failures
+        assert report.executed == 2
+        assert service.client is None, "service must degrade after retries"
+        counters = service.counters()
+        assert counters["daemon_degraded"] == 1
+        assert counters["daemon_retries"] >= 1
+        assert counters["daemon_jobs"] == 0
 
 
 class TestCli:
