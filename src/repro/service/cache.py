@@ -126,11 +126,19 @@ class ArtifactCache:
         return self._store is not None and self._store.contains(key)
 
     # ----------------------------------------------------------------- store
-    def put(self, key: str, payload: Dict[str, Any]) -> None:
+    def put(self, key: str, payload: Dict[str, Any],
+            durable: bool = True) -> None:
+        """Store ``payload`` in both tiers.
+
+        ``durable=False`` keeps the entry in the in-memory LRU tier only —
+        used for state that must not outlive this process, such as a
+        timeout-driven quarantine that a differently-loaded machine should
+        re-attempt from scratch.
+        """
         with self._lock:
             self.counters.stores += 1
             self._promote(key, payload)
-        if self._store is not None:
+        if durable and self._store is not None:
             self._store.put(key, payload)
 
     def _promote(self, key: str, payload: Dict[str, Any]) -> None:

@@ -317,13 +317,32 @@ def _remove_stale_socket(spec: str) -> bool:
         kind, address = parse_socket_spec(spec)
     except Exception:
         return False
-    if kind != "unix" or not os.path.exists(address):
+    if kind != "unix":
+        return False
+    try:
+        before = os.stat(address)
+    except OSError:
         return False
     probe = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
     try:
         probe.settimeout(1.0)
         probe.connect(address)
     except OSError:
+        # Between the failed probe and the unlink, a daemon starting up
+        # could claim the path; unlinking then would orphan the *live*
+        # daemon.  Re-stat and only unlink the exact file we probed.
+        try:
+            after = os.stat(address)
+        except OSError:
+            return False   # already gone — nothing left to clean up
+        # inode numbers are recycled immediately on tmpfs, so compare the
+        # creation timestamp too
+        if ((after.st_ino, after.st_dev, after.st_mtime_ns)
+                != (before.st_ino, before.st_dev, before.st_mtime_ns)):
+            logger.warning(
+                "daemon socket %s was replaced while probing it (a daemon "
+                "is starting up?); leaving it alone", address)
+            return False
         try:
             os.unlink(address)
         except OSError:

@@ -24,7 +24,11 @@ identified precisely and its innocent batch-mates complete.  A job that
 still crashes or times out after ``max_attempts`` attempts is **quarantined**:
 an ``ok=False`` poison artifact is cached under its key (``poisoned: True``)
 so one pathological kernel fails fast forever instead of taking fresh
-batches down with it.  All of it is observable: ``retries``, ``timeouts``,
+batches down with it.  Crash-driven quarantines persist to the shared disk
+store; timeout-driven ones stay in this process's memory tier only (flagged
+``transient``), because a watchdog timeout may just mean an overloaded
+machine and must not poison the key for every future process.  All of it is
+observable: ``retries``, ``timeouts``,
 ``pool_crashes`` and ``quarantined`` ride :meth:`CompileService.counters`
 and the daemon's ``metrics``.
 """
@@ -207,7 +211,11 @@ class CompileService:
 
         misses: List[CompileJob] = []
         for key, job in unique.items():
-            if self.cache.contains(key):
+            # a validating read, not contains(): an entry whose payload no
+            # longer deserialises (torn write, CRC mismatch) would be a hit
+            # to contains() but None to every get(), so the job would never
+            # recompile and never produce an artifact
+            if self._cached_artifact(key) is not None:
                 report.cache_hits += 1
             else:
                 misses.append(job)
@@ -218,7 +226,11 @@ class CompileService:
                           if elapsed is not None}
         results = {key: payload for key, (payload, _) in results.items()}
         for key, payload in results.items():
-            self.cache.put(key, payload)
+            # transient quarantines (watchdog timeouts) stay in the memory
+            # tier: an overloaded machine must not poison the shared disk
+            # store for every future process
+            self.cache.put(key, payload,
+                           durable=not payload.get("transient", False))
             if not payload["ok"]:
                 report.failures.append((payload["workload"], payload["error"]))
         report.executed = len(results)
@@ -309,9 +321,10 @@ class CompileService:
                 breaks += 1
                 with self._lock:
                     self.pool_crashes += 1
-            for job, attempt, reason in retry:
+            for job, attempt, reason, durable in retry:
                 if attempt + 1 >= self.max_attempts:
-                    self._quarantine(job, reason, attempt + 1, results)
+                    self._quarantine(job, reason, attempt + 1, results,
+                                     durable=durable)
                 else:
                     with self._lock:
                         self.retries += 1
@@ -322,15 +335,19 @@ class CompileService:
             self, batch: List[Tuple[CompileJob, int]], width: int,
             report: BatchReport,
             results: Dict[str, Tuple[Dict[str, Any], Optional[float]]]
-    ) -> Tuple[List[Tuple[CompileJob, int, str]],
+    ) -> Tuple[List[Tuple[CompileJob, int, str, bool]],
                List[Tuple[CompileJob, int]], bool]:
         """One pool generation: returns ``(retry, leftover, broke)``.
 
-        ``retry`` holds crash/timeout casualties (requeue or quarantine),
-        ``leftover`` holds jobs for the in-process fallback, and ``broke``
-        reports whether this generation's pool had to be torn down.
+        ``retry`` holds crash/timeout casualties as ``(job, attempt,
+        reason, durable)`` — ``durable`` says whether exhausting the
+        attempt budget on this kind of failure earns a *persistent* poison
+        artifact (worker crashes do; watchdog timeouts, which may just mean
+        an overloaded machine, quarantine in memory only).  ``leftover``
+        holds jobs for the in-process fallback, and ``broke`` reports
+        whether this generation's pool had to be torn down.
         """
-        retry: List[Tuple[CompileJob, int, str]] = []
+        retry: List[Tuple[CompileJob, int, str, bool]] = []
         leftover: List[Tuple[CompileJob, int]] = []
         try:
             pool = ProcessPoolExecutor(max_workers=width,
@@ -342,8 +359,22 @@ class CompileService:
         broke = False
         hung: "set" = set()
         try:
-            futures = {pool.submit(execute_spec_timed, job.spec(), attempt):
-                       (job, attempt) for job, attempt in batch}
+            futures: Dict[Any, Tuple[CompileJob, int]] = {}
+            try:
+                for job, attempt in batch:
+                    future = pool.submit(execute_spec_timed, job.spec(),
+                                         attempt)
+                    futures[future] = (job, attempt)
+            except BrokenProcessPool:
+                # a worker can die *during* submission (e.g. in the pool
+                # initializer), which raises synchronously; the jobs that
+                # never made it in are crash casualties like any other, so
+                # the generation is rebuilt instead of aborting the batch
+                broke = True
+                for job, attempt in batch[len(futures):]:
+                    retry.append((job, attempt,
+                                  "worker process crashed during job "
+                                  "submission", True))
             outstanding = set(futures)
             last_progress = time.monotonic()
             while outstanding:
@@ -357,7 +388,8 @@ class CompileService:
                             future.result()
                     except BrokenProcessPool:
                         broke = True
-                        retry.append((job, attempt, "worker process crashed"))
+                        retry.append((job, attempt,
+                                      "worker process crashed", True))
                     except Exception:
                         # non-crash infrastructure failure (unpicklable
                         # state, ...): redo in-process, do not burn attempts
@@ -381,7 +413,7 @@ class CompileService:
                         job, attempt = futures[future]
                         retry.append((job, attempt,
                                       f"compile made no progress for "
-                                      f"{self.job_timeout:g}s"))
+                                      f"{self.job_timeout:g}s", False))
                     break
         finally:
             if hung:
@@ -414,7 +446,8 @@ class CompileService:
 
     def _quarantine(
             self, job: CompileJob, reason: str, attempts: int,
-            results: Dict[str, Tuple[Dict[str, Any], Optional[float]]]
+            results: Dict[str, Tuple[Dict[str, Any], Optional[float]]],
+            durable: bool = True
     ) -> None:
         """Land a poison artifact for a job that keeps killing workers.
 
@@ -422,6 +455,12 @@ class CompileService:
         ``poisoned``), so every later submission of the same key fails fast
         from the cache instead of crashing another pool.  Clearing the cache
         entry (or bumping the key schema) lifts the quarantine.
+
+        ``durable=False`` (watchdog timeouts) flags the payload
+        ``transient``, and :meth:`submit` then keeps it out of the shared
+        disk store: a compile that was merely slow on an overloaded machine
+        fails fast for the rest of *this* process but is re-attempted from
+        scratch by the next one, instead of poisoning the key for everyone.
         """
         key = job.safe_key()
         payload = {
@@ -431,6 +470,8 @@ class CompileService:
             "error": (f"quarantined poison job after {attempts} "
                       f"attempt(s): {reason}"),
         }
+        if not durable:
+            payload["transient"] = True
         results[key] = (payload, None)
         with self._lock:
             self.quarantined += 1

@@ -351,6 +351,41 @@ class TestWireFaultTolerance:
                         "quarantined", "daemon_corrupt_payloads"):
             assert counter in metrics["self_heal"]
 
+    def test_socket_replaced_mid_probe_is_not_unlinked(self, tmp_path,
+                                                       monkeypatch):
+        """TOCTOU guard: if a daemon claims the path between the failed
+        probe and the unlink, the (now live) socket file must survive."""
+        import repro.service.client as client_mod
+        path = str(tmp_path / "racing.sock")
+        stale = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        stale.bind(path)
+        stale.close()   # stale file: nobody listening
+        real_socket = socket.socket
+        replacements = []
+
+        class RacingSocket(real_socket):
+            def connect(self, address):
+                try:
+                    return super().connect(address)
+                except OSError:
+                    # simulate a daemon starting up mid-probe: the path is
+                    # re-bound to a brand-new socket file (new inode)
+                    os.unlink(address)
+                    replacement = real_socket(socket.AF_UNIX,
+                                              socket.SOCK_STREAM)
+                    replacement.bind(address)
+                    replacements.append(replacement)
+                    raise
+
+        monkeypatch.setattr(client_mod.socket, "socket", RacingSocket)
+        try:
+            assert client_mod._remove_stale_socket(path) is False
+            assert os.path.exists(path), \
+                "the replacement socket must not be unlinked"
+        finally:
+            for replacement in replacements:
+                replacement.close()
+
     def test_stale_socket_is_unlinked_and_discovery_falls_back(
             self, no_ambient_daemon, tmp_path, monkeypatch):
         stale = str(tmp_path / "stale.sock")
